@@ -1,0 +1,17 @@
+"""E-TEXT4: asynchronous-vs-synchronous bus constant factors."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_async_factors(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-TEXT4"), rounds=1, iterations=1)
+    emit(result, results_dir)
+    for row in result.table("async/sync ratios").rows:
+        _, strip_ratio, square_ratio, area_ratio = row
+        assert abs(strip_ratio - math.sqrt(2)) < 1e-6
+        assert abs(square_ratio - 1.5) < 1e-6
+        assert abs(area_ratio - math.sqrt(2)) < 1e-9

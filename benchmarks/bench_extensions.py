@@ -1,0 +1,52 @@
+"""Extension benches: fully-async bus, embedding ablation, placement ablation."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_fully_async(benchmark, results_dir):
+    result = benchmark.pedantic(
+        get_experiment("E-EXT-FULLASYNC"), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    table = result.table("optimal speedup by overlap level")
+    for row in table.rows:
+        n, kind, s_sync, s_async, s_full, ratio = row
+        assert s_sync < s_async < s_full
+        expected = math.sqrt(2.0) if kind == "strip" else 2.0 ** (1.0 / 3.0)
+        assert abs(ratio - expected) < 1e-6
+    for row in result.table("fully-async growth exponents (unchanged)").rows:
+        assert abs(row[1] - row[2]) < 1e-3
+
+
+def test_bench_mapping_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        get_experiment("E-ABL-MAPPING"), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    table = result.table("optimal speedup with and without the embedding")
+    gains = table.column("embedding gain")
+    assert all(g > 1.0 for g in gains)
+    assert gains[-1] > gains[0]  # the embedding matters more at scale
+    exp_row = result.table("random-mapping growth exponent (drops below linear)")
+    assert exp_row.rows[0][0] < 0.999
+
+
+def test_bench_placement_ablation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        get_experiment("E-ABL-PLACEMENT"), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    table = result.table("max switch-edge congestion by placement")
+    for row in table.rows:
+        n_ports, identity, shift, reversal, rand, sqrt_ref = row
+        assert identity == 1          # the paper's assumption 3 holds
+        assert shift == 1             # butterflies route cyclic shifts
+        assert reversal > 1           # ... but not bit reversal
+        assert 1 <= rand <= reversal + 2
+    reversals = table.column("bit reversal")
+    # Θ(sqrt N): congestion doubles every 4x in ports (exactly 2x here).
+    assert reversals[-1] == 2 * reversals[-3]

@@ -1,0 +1,21 @@
+"""E-FIG6: working-rectangle approximation errors (Figure 6a/6b)."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_figure6(benchmark, results_dir):
+    run = get_experiment("E-FIG6")
+    result = benchmark.pedantic(
+        lambda: run(full_series=True), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    # Paper: errors usually < 3% (area) and < 6% (perimeter).
+    for row in result.table("summary").rows:
+        assert row[4] >= 0.85  # fraction of areas within 3%
+        assert row[7] >= 0.85  # fraction of perimeters within 6%
+    # Full 256-grid series present for the literal bar graphs.
+    series = result.table("series n=256")
+    assert series.rows[0][0] == 1024
+    assert series.rows[-1][0] == 16384

@@ -1,0 +1,29 @@
+"""E-FIG7: minimal problem size vs processor count (Figure 7)."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_figure7(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-FIG7"), rounds=1, iterations=1)
+    emit(result, results_dir)
+
+    anchor = result.table(
+        "Section 6.1 anchor: max useful processors on 256x256 squares"
+    )
+    computed = anchor.column("computed")
+    assert abs(computed[0] - 14.0) < 0.2  # 5-point: paper says 14
+    assert abs(computed[1] - 22.2) < 0.3  # 9-point: paper says 22
+
+    # Shape: every configuration's threshold grows with N, and strips
+    # always need larger problems than squares at the same N.
+    for stencil in ("5-point", "9-point-box"):
+        table = result.table(f"log2(n^2_min) — {stencil}")
+        for col in table.headers[1:]:
+            series = table.column(col)
+            assert all(b > a for a, b in zip(series, series[1:]))
+        strips = table.column("(a) sync strip")
+        squares = table.column("(c) sync square")
+        assert all(st >= sq for st, sq in zip(strips, squares))
+    assert not [n for n in result.notes if n.startswith("WARNING")]

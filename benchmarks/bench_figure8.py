@@ -1,0 +1,28 @@
+"""E-FIG8: bus speedup and processor curves vs problem size (Figure 8)."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_figure8(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-FIG8"), rounds=1, iterations=1)
+    emit(result, results_dir)
+
+    for stencil in ("5-point", "9-point-box"):
+        fits = {
+            row[0]: row[1]
+            for row in result.table(f"fitted speedup exponents — {stencil}").rows
+        }
+        assert abs(fits["squares"] - 1 / 3) < 1e-3
+        assert abs(fits["strips"] - 1 / 4) < 1e-3
+
+        table = result.table(f"curves — {stencil}")
+        sq = table.column("speedup (squares)")
+        st = table.column("speedup (strips)")
+        # Squares dominate at every problem size, and both grow.
+        assert all(a > b for a, b in zip(sq, st))
+        assert all(b > a for a, b in zip(sq, sq[1:]))
+        # More processors than speedup everywhere (efficiency < 1).
+        procs_sq = table.column("processors (squares)")
+        assert all(p > s for p, s in zip(procs_sq, sq))

@@ -1,0 +1,33 @@
+"""E-TEXT1/E-TEXT2: the Section-6.1 worked example and the c/b rule."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_intext_example(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-TEXT1"), rounds=3, iterations=1)
+    emit(result, results_dir)
+
+    rows = {r[0]: r for r in result.table("speedup at N=16").rows}
+    # Paper's printed formulas: strips 16/(1+512/n), squares 16/(1+128/n).
+    assert abs(rows[256][6] - 10.67) < 0.01   # squares at 256 ("10.6")
+    assert abs(rows[1024][5] - 10.67) < 0.01  # strips at 1024 ("10.6")
+    assert abs(rows[1024][6] - 14.22) < 0.05  # squares at 1024 ("14.2")
+    # Shape holds in every accounting: squares beat strips, growth in n.
+    for n in (256, 1024):
+        assert rows[n][2] > rows[n][1]  # read+write accounting
+        assert rows[n][4] > rows[n][3]  # read-only accounting
+    assert rows[1024][1] > rows[256][1]
+
+
+def test_bench_flex32_rule(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-TEXT2"), rounds=1, iterations=1)
+    emit(result, results_dir)
+    # c/b = 1000 >> N: no interior optimum ever appears.
+    table = result.table("FLEX/32-style bus (c/b = 1000) allocations")
+    assert all(row[3] != "interior" for row in table.rows)
+    # Large problems: all processors; the c/b ratio is as measured.
+    assert all(abs(row[2] - 1000.0) < 1e-9 for row in table.rows)
+    big_rows = [row for row in table.rows if row[0] >= 512]
+    assert all(row[4] == row[1] for row in big_rows)

@@ -1,0 +1,15 @@
+"""E-KTAB: Section 3's k(Partition, Stencil) table (and Figures 1/3)."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_ktable(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-KTAB"), rounds=3, iterations=1)
+    emit(result, results_dir)
+    rows = {(r[0], r[1]): r[2] for r in result.table("k values").rows}
+    assert rows[("strip", "5-point")] == 1
+    assert rows[("square", "9-point-box")] == 1
+    assert rows[("strip", "9-point-star")] == 2
+    assert rows[("square", "13-point")] == 2

@@ -1,0 +1,24 @@
+"""E-TEXT3: hardware leverage at the bus optimum."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_leverage(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-TEXT3"), rounds=1, iterations=1)
+    emit(result, results_dir)
+
+    table = result.table("cycle-time factor after 2x speedup of one component")
+    measured = {(row[0], row[1]): row[2] for row in table.rows}
+    assert abs(measured[("strip", "b")] - 1 / math.sqrt(2)) < 1e-9
+    assert abs(measured[("strip", "t_flop")] - 1 / math.sqrt(2)) < 1e-9
+    assert abs(measured[("square", "b")] - 0.5 ** (2 / 3)) < 1e-9  # 0.63
+    assert abs(measured[("square", "t_flop")] - 0.5 ** (1 / 3)) < 1e-9  # 0.79
+
+    heavy = result.table("c-dominated bus (c/b=1000): leverage of 2x speedups")
+    factors = {row[0]: row[1] for row in heavy.rows}
+    assert factors["b"] > 0.95      # bus speed barely helps
+    assert factors["c"] < factors["b"]  # c is the real lever

@@ -1,0 +1,28 @@
+"""E-SCAL / E-EXTREME: scaled speedup and extremal allocation."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_scaled_speedup(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-SCAL"), rounds=1, iterations=1)
+    emit(result, results_dir)
+    # Hypercube: exactly linear (speedup/n² constant to machine precision).
+    spread = result.table("hypercube speedup / n² (constant = exactly linear)")
+    assert spread.rows[0][2] < 1e-12
+    # Banyan trails the cube by a growing log factor.
+    table = result.table("scaled speedup, F = 64 points/processor")
+    gap = table.column("cube/banyan")
+    assert all(b >= a for a, b in zip(gap, gap[1:]))
+    assert gap[-1] > 1.0
+
+
+def test_bench_extremal_allocation(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-EXTREME"), rounds=1, iterations=1)
+    emit(result, results_dir)
+    table = result.table("best processor count over P in [1, 64], n=64 squares")
+    assert all(row[2] == "yes" for row in table.rows)
+    best = {row[0]: row[1] for row in table.rows}
+    assert best["hypercube"] == 64       # good network: spread maximally
+    assert best["hypercube (slow net)"] == 1  # terrible network: stay serial

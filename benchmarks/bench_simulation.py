@@ -1,0 +1,35 @@
+"""E-SIMVAL: event-level simulation versus the analytic model."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_simulation_validation(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-SIMVAL"), rounds=1, iterations=1)
+    emit(result, results_dir)
+
+    summary = result.table("validation summary")
+    for row in summary.rows:
+        label, stencil, mean_err, max_err, best_m, best_s, agrees = row
+        # The analytic model is an upper envelope for buses and near-exact
+        # for neighbour networks: simulation never exceeds it meaningfully.
+        assert mean_err <= 0.02
+        # Optimal-processor rankings agree or sit in a flat optimum region.
+        if agrees != "yes":
+            assert max(best_m, best_s) <= 2 * min(best_m, best_s)
+
+    # Nearest-neighbour and banyan agree within a few percent; the
+    # 9-point box runs ~6% because its diagonal halo points are exactly
+    # the corner volume footnote 4 ignores.
+    tight = [r for r in summary.rows if "hypercube" in r[0] or "banyan" in r[0]]
+    assert tight
+    for r in tight:
+        limit = 0.05 if r[1] == "5-point" else 0.08
+        assert r[3] < limit
+
+    # Pipelined bus scheduling only helps (overlap the model ignores).
+    ablation = result.table("bus scheduling ablation (simulated cycle time)")
+    barrier = {r[1]: r[2] for r in ablation.rows if r[0] == "barrier"}
+    pipelined = {r[1]: r[2] for r in ablation.rows if r[0] == "pipelined"}
+    assert all(pipelined[p] <= barrier[p] + 1e-15 for p in barrier)

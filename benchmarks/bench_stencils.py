@@ -1,0 +1,29 @@
+"""E-FIG1: stencil definitions, plus stencil-application throughput."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import get_experiment
+from repro.stencils.apply import apply_stencil_into, ghost_width
+from repro.stencils.library import ALL_STENCILS, NINE_POINT_BOX
+
+
+def test_bench_stencil_definitions(benchmark, results_dir):
+    """Figure 1 / Figure 3 are stencil definitions; the E-KTAB experiment
+    renders them (footprints + E(S) + k)."""
+    result = benchmark.pedantic(get_experiment("E-KTAB"), rounds=3, iterations=1)
+    emit(result, results_dir)
+    props = {row[0]: row for row in result.table("stencil properties").rows}
+    assert props["5-point"][1] == 5.0
+    assert props["9-point-box"][3] == "yes"   # diagonals (Figure 1 right)
+    assert props["9-point-star"][2] == 2      # reach 2 (Figure 3 left)
+
+
+def test_bench_apply_nine_point_box(benchmark):
+    """Vectorized 9-point application on 512² — the heaviest kernel."""
+    g = ghost_width(NINE_POINT_BOX)
+    rng = np.random.default_rng(7)
+    field = rng.standard_normal((512 + 2 * g, 512 + 2 * g))
+    out = np.empty((512, 512))
+    benchmark(apply_stencil_into, NINE_POINT_BOX, field, out)
+    assert np.isfinite(out).all()

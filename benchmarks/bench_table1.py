@@ -1,0 +1,32 @@
+"""E-TAB1: Table I — optimal speedup by architecture."""
+
+import math
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_table1(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-TAB1"), rounds=1, iterations=1)
+    emit(result, results_dir)
+
+    fits = {row[0]: row[1] for row in result.table("fitted growth exponents").rows}
+    assert abs(fits["hypercube"] - 1.0) < 1e-6
+    assert abs(fits["mesh"] - 1.0) < 1e-6
+    assert 0.85 < fits["switching network"] < 1.0  # n²/log n
+    assert abs(fits["synchronous bus"] - 1 / 3) < 1e-3
+    assert abs(fits["asynchronous bus"] - 1 / 3) < 1e-3
+
+    ratios = {r[0]: r[1] for r in result.table("async/sync optimal-speedup ratios").rows}
+    assert abs(ratios["squares"] - 1.5) < 1e-6
+    assert abs(ratios["strips"] - math.sqrt(2)) < 1e-6
+
+    # Ranking at the largest grid: both networks crush the buses, async
+    # beats sync.  (Cube-vs-banyan absolute order depends on network
+    # speeds, not the log factor — Section 7's own caveat.)
+    table = result.table("optimal speedup vs grid size (square partitions)")
+    last = dict(zip(table.headers, table.rows[-1]))
+    assert last["hypercube"] > 100 * last["asynchronous bus"]
+    assert last["switching network"] > 100 * last["asynchronous bus"]
+    assert last["asynchronous bus"] > last["synchronous bus"]

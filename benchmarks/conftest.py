@@ -1,0 +1,26 @@
+"""Benchmark harness conventions.
+
+Every bench regenerates one paper artifact (figure, table, or in-text
+claim), times the regeneration with pytest-benchmark, prints the same
+rows the paper reports, and asserts the reproduction's shape anchors.
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+reports inline (they are also written to ``results/`` as CSV).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.csvio import default_results_dir
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    return default_results_dir()
+
+
+def emit(result, results_dir) -> None:
+    """Print an experiment report and persist its CSV artifacts."""
+    print()
+    print(result.render())
+    result.write_csvs(results_dir)

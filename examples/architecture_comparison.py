@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Architecture shoot-out: which machine scales to large PDE grids?
+
+Reproduces the spirit of Table I interactively: sweeps problem sizes
+on four architectures (hypercube, mesh, banyan, sync/async bus), plots
+optimal speedup on log-log axes (ASCII), and fits the growth exponents.
+
+Run:  python examples/architecture_comparison.py
+"""
+
+import math
+
+from repro import (
+    AsynchronousBus,
+    BanyanNetwork,
+    FIVE_POINT,
+    Hypercube,
+    PartitionKind,
+    SynchronousBus,
+    Workload,
+    fit_scaling_exponent,
+    optimal_speedup,
+)
+from repro.report.ascii_plot import multi_line_plot
+from repro.report.tables import format_table
+
+MACHINES = {
+    "hypercube": Hypercube(alpha=1e-6, beta=1e-5, packet_words=16),
+    "banyan": BanyanNetwork(w=2e-7),
+    "sync bus": SynchronousBus(b=6.1e-6, c=0.0),
+    "async bus": AsynchronousBus(b=6.1e-6, c=0.0),
+}
+
+EXPECTED_EXPONENT = {
+    "hypercube": "1 (linear)",
+    "banyan": "1 - log factor",
+    "sync bus": "1/3",
+    "async bus": "1/3",
+}
+
+
+def main() -> None:
+    grid_sides = [2**e for e in range(7, 14)]
+    template = Workload(n=128, stencil=FIVE_POINT)
+
+    speedups: dict[str, list[float]] = {}
+    for name, machine in MACHINES.items():
+        speedups[name] = [
+            optimal_speedup(machine, template.with_n(n), PartitionKind.SQUARE).speedup
+            for n in grid_sides
+        ]
+
+    # ------------------------------------------------------------- table
+    rows = []
+    for i, n in enumerate(grid_sides):
+        rows.append([n * n] + [round(speedups[m][i], 1) for m in MACHINES])
+    print(
+        format_table(
+            ["n^2"] + list(MACHINES),
+            rows,
+            title="Optimal speedup by architecture (squares, machine grows with problem)",
+        )
+    )
+    print()
+
+    # ------------------------------------------------------- log-log plot
+    log_n2 = [2 * math.log2(n) for n in grid_sides]
+    log_speedups = {
+        name: [math.log2(s) for s in series] for name, series in speedups.items()
+    }
+    print(
+        multi_line_plot(
+            log_n2,
+            log_speedups,
+            width=60,
+            height=18,
+            title="log2(optimal speedup) vs log2(n^2) — slope = growth exponent",
+        )
+    )
+    print()
+
+    # ---------------------------------------------------------- exponents
+    n2 = [float(n) * n for n in grid_sides]
+    rows = []
+    for name in MACHINES:
+        fit = fit_scaling_exponent(n2, speedups[name])
+        rows.append((name, round(fit.exponent, 4), EXPECTED_EXPONENT[name]))
+    print(
+        format_table(
+            ["architecture", "fitted exponent", "paper"],
+            rows,
+            title="Growth exponents (Table I)",
+        )
+    )
+    print()
+    print(
+        "Buses flatten out almost immediately; the banyan tracks the\n"
+        "hypercube up to its log factor.  Which network wins in absolute\n"
+        "terms depends on switch vs message speeds, exactly as Section 7\n"
+        "observes — asymptotics only separate networks from buses."
+    )
+
+
+if __name__ == "__main__":
+    main()

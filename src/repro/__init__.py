@@ -1,0 +1,109 @@
+"""repro — reproduction of Nicol & Willard (1987),
+"Problem Size, Parallel Architecture, and Optimal Speedup".
+
+The package models one iteration of a parallel elliptic-PDE solve
+(``t_cycle = E(S)·A·T_fp + t_a``), optimizes the processor allocation
+per architecture, and studies optimal speedup as problem and machine
+grow together.  Substrates (an actual Jacobi solver and a
+discrete-event machine simulator) ground and validate the model.
+
+Quickstart::
+
+    from repro import Workload, FIVE_POINT, PAPER_BUS, PartitionKind
+    from repro import optimize_allocation
+
+    w = Workload(n=256, stencil=FIVE_POINT)
+    alloc = optimize_allocation(PAPER_BUS, w, PartitionKind.SQUARE,
+                                max_processors=16)
+    print(alloc.processors, alloc.speedup)
+
+Subpackages
+-----------
+``repro.stencils``
+    Stencil geometry, E(S), and the k(P,S) perimeter classification.
+``repro.partitioning``
+    Strips, working rectangles, block decompositions, halo graphs.
+``repro.machines``
+    Architecture models: hypercube, mesh, sync/async bus, banyan.
+``repro.core``
+    Cycle times, allocation optimization, speedup and scaling laws.
+``repro.solver``
+    A real Jacobi/SOR Poisson solver with partitioned execution.
+``repro.sim``
+    Discrete-event simulator validating the analytic formulas.
+``repro.experiments``
+    Regenerates every figure and table of the paper.
+"""
+
+from repro.core import (
+    Allocation,
+    OptimalSpeedupResult,
+    Workload,
+    fit_scaling_exponent,
+    fixed_machine_speedup,
+    leverage_report,
+    minimal_problem_size,
+    optimal_speedup,
+    optimize_allocation,
+    speedup_at_processors,
+    table1_optimal_speedup,
+)
+from repro.errors import (
+    ConvergenceError,
+    DecompositionError,
+    InvalidParameterError,
+    ReproError,
+    SimulationError,
+)
+from repro.machines import (
+    AsynchronousBus,
+    BanyanNetwork,
+    Hypercube,
+    MeshGrid,
+    PAPER_BUS,
+    PAPER_BUS_ASYNC,
+    SynchronousBus,
+)
+from repro.stencils import (
+    FIVE_POINT,
+    NINE_POINT_BOX,
+    NINE_POINT_STAR,
+    PartitionKind,
+    Stencil,
+    THIRTEEN_POINT,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AsynchronousBus",
+    "BanyanNetwork",
+    "ConvergenceError",
+    "DecompositionError",
+    "FIVE_POINT",
+    "Hypercube",
+    "InvalidParameterError",
+    "MeshGrid",
+    "NINE_POINT_BOX",
+    "NINE_POINT_STAR",
+    "OptimalSpeedupResult",
+    "PAPER_BUS",
+    "PAPER_BUS_ASYNC",
+    "PartitionKind",
+    "ReproError",
+    "SimulationError",
+    "Stencil",
+    "SynchronousBus",
+    "THIRTEEN_POINT",
+    "Workload",
+    "__version__",
+    "fit_scaling_exponent",
+    "fixed_machine_speedup",
+    "leverage_report",
+    "minimal_problem_size",
+    "optimal_speedup",
+    "optimize_allocation",
+    "speedup_at_processors",
+    "table1_optimal_speedup",
+]

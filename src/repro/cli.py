@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``machines``
+    List the preset machines and their constants.
+``optimize``
+    Optimal allocation for a problem on a preset machine.
+``plan``
+    Capacity planning: max useful processors and minimal grid sizes.
+``experiments``
+    Run registered experiments (same as ``repro.experiments.runner``).
+
+Examples::
+
+    python -m repro machines
+    python -m repro optimize --machine paper-bus --n 256 --stencil 5-point \
+        --partition square --max-processors 16
+    python -m repro plan --machine paper-bus --n 256
+    python -m repro experiments E-FIG7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.allocation import optimize_allocation
+from repro.core.minimal_size import max_useful_processors, minimal_grid_side
+from repro.core.parameters import Workload
+from repro.machines.bus import BusArchitecture
+from repro.machines.catalog import DEFAULT_MACHINES, by_name
+from repro.report.tables import format_kv_block, format_table
+from repro.stencils.library import ALL_STENCILS
+from repro.stencils.library import by_name as stencil_by_name
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, machine in sorted(DEFAULT_MACHINES.items()):
+        params = {
+            f.name: getattr(machine, f.name)
+            for f in machine.__dataclass_fields__.values()  # type: ignore[attr-defined]
+        }
+        rows.append(
+            (name, type(machine).__name__, ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}" for k, v in params.items()))
+        )
+    print(format_table(["preset", "model", "parameters"], rows))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    machine = by_name(args.machine)
+    workload = Workload(n=args.n, stencil=stencil_by_name(args.stencil), t_flop=args.t_flop)
+    kind = PartitionKind(args.partition)
+    alloc = optimize_allocation(
+        machine, workload, kind, max_processors=args.max_processors, integer=True
+    )
+    print(
+        format_kv_block(
+            {
+                "machine": args.machine,
+                "grid": f"{args.n} x {args.n}",
+                "stencil": args.stencil,
+                "partition": kind.value,
+                "regime": alloc.regime,
+                "processors": round(alloc.processors, 2),
+                "points per processor": round(alloc.area, 1),
+                "cycle time (s)": alloc.cycle_time,
+                "speedup": round(alloc.speedup, 3),
+                "efficiency": round(alloc.efficiency, 3),
+            },
+            title="Optimal allocation",
+        )
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    machine = by_name(args.machine)
+    if not isinstance(machine, BusArchitecture):
+        print(
+            f"{args.machine} is not a bus: allocation is extremal — use all "
+            "processors (or one, if the network is slower than computing "
+            "locally).  Capacity planning thresholds apply to buses."
+        )
+        return 0
+    rows = []
+    for stencil in ALL_STENCILS:
+        w = Workload(n=args.n, stencil=stencil)
+        for kind in (PartitionKind.STRIP, PartitionKind.SQUARE):
+            rows.append(
+                (
+                    stencil.name,
+                    kind.value,
+                    round(max_useful_processors(machine, w, kind), 1),
+                )
+            )
+    print(
+        format_table(
+            ["stencil", "partition", "max useful processors"],
+            rows,
+            title=f"Capacity plan: {args.machine}, {args.n} x {args.n}",
+        )
+    )
+    rows = []
+    for n_procs in (8, 16, 32):
+        side = minimal_grid_side(machine, 1, 5.0, 1e-6, n_procs, PartitionKind.SQUARE)
+        rows.append((n_procs, round(side)))
+    print()
+    print(
+        format_table(
+            ["N processors", "min grid side (squares, 5-point)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    if args.list:
+        from repro.experiments import all_experiments
+
+        for exp_id in sorted(all_experiments()):
+            print(exp_id)
+        return 0
+    for report in run_all(ids=args.ids or None):
+        print(report)
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list machine presets").set_defaults(
+        func=_cmd_machines
+    )
+
+    opt = sub.add_parser("optimize", help="optimal allocation for a problem")
+    opt.add_argument("--machine", default="paper-bus", choices=sorted(DEFAULT_MACHINES))
+    opt.add_argument("--n", type=int, default=256)
+    opt.add_argument("--stencil", default="5-point")
+    opt.add_argument("--partition", default="square", choices=["strip", "square"])
+    opt.add_argument("--max-processors", type=int, default=None)
+    opt.add_argument("--t-flop", type=float, default=1e-6)
+    opt.set_defaults(func=_cmd_optimize)
+
+    plan = sub.add_parser("plan", help="capacity planning thresholds")
+    plan.add_argument("--machine", default="paper-bus", choices=sorted(DEFAULT_MACHINES))
+    plan.add_argument("--n", type=int, default=256)
+    plan.set_defaults(func=_cmd_plan)
+
+    exp = sub.add_parser("experiments", help="run paper experiments")
+    exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    exp.add_argument("--list", action="store_true")
+    exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""The paper's analytical model: cycle times, allocation, speedup laws."""
+
+from repro.core.allocation import (
+    Allocation,
+    admissible_area_range,
+    optimize_allocation,
+)
+from repro.core.constraints import (
+    ConstrainedAllocation,
+    MachineSize,
+    constrained_allocation,
+    min_processors_for_memory,
+)
+from repro.core.crossover import (
+    CrossoverResult,
+    find_crossover_grid_size,
+    speedup_ratio,
+    strip_square_ratio,
+)
+from repro.core.cycle_time import (
+    CyclePhases,
+    communication_fraction,
+    cycle_time_curve,
+    cycle_time_vs_processors,
+    phase_breakdown,
+)
+from repro.core.isoefficiency import (
+    IsoefficiencyFit,
+    grid_for_efficiency,
+    isoefficiency_exponent,
+)
+from repro.core.leverage import LeverageReport, leverage_factor, leverage_report
+from repro.core.minimal_size import (
+    max_useful_processors,
+    minimal_grid_side,
+    minimal_grid_size_numeric,
+    minimal_problem_size,
+    uses_all_processors,
+)
+from repro.core.optimize import (
+    ScalarMinimum,
+    bracketing_integers,
+    brute_force_minimize,
+    golden_section_minimize,
+    is_discretely_convex,
+)
+from repro.core.parameters import DEFAULT_T_FLOP, Workload
+from repro.core.rectangles_allocation import (
+    WorkingRectangleAllocation,
+    optimize_with_working_rectangles,
+)
+from repro.core.scaling import (
+    ScalingFit,
+    fit_scaling_exponent,
+    optimal_speedup_sweep,
+    scaled_speedup_banyan,
+    scaled_speedup_hypercube,
+    table1_optimal_speedup,
+)
+from repro.core.sensitivity import (
+    ElasticityProfile,
+    elasticity,
+    elasticity_profile,
+)
+from repro.core.speedup import (
+    OptimalSpeedupResult,
+    closed_form_optimal_speedup_async_bus,
+    closed_form_optimal_speedup_sync_bus,
+    fixed_machine_speedup,
+    optimal_speedup,
+    speedup_at_processors,
+    speedup_curve,
+)
+
+__all__ = [
+    "Allocation",
+    "ConstrainedAllocation",
+    "CrossoverResult",
+    "CyclePhases",
+    "DEFAULT_T_FLOP",
+    "ElasticityProfile",
+    "IsoefficiencyFit",
+    "LeverageReport",
+    "MachineSize",
+    "OptimalSpeedupResult",
+    "ScalarMinimum",
+    "ScalingFit",
+    "Workload",
+    "WorkingRectangleAllocation",
+    "admissible_area_range",
+    "bracketing_integers",
+    "brute_force_minimize",
+    "closed_form_optimal_speedup_async_bus",
+    "closed_form_optimal_speedup_sync_bus",
+    "communication_fraction",
+    "constrained_allocation",
+    "cycle_time_curve",
+    "elasticity",
+    "elasticity_profile",
+    "cycle_time_vs_processors",
+    "find_crossover_grid_size",
+    "fit_scaling_exponent",
+    "grid_for_efficiency",
+    "isoefficiency_exponent",
+    "fixed_machine_speedup",
+    "golden_section_minimize",
+    "is_discretely_convex",
+    "leverage_factor",
+    "leverage_report",
+    "max_useful_processors",
+    "minimal_grid_side",
+    "minimal_grid_size_numeric",
+    "min_processors_for_memory",
+    "minimal_problem_size",
+    "optimal_speedup",
+    "optimal_speedup_sweep",
+    "optimize_allocation",
+    "optimize_with_working_rectangles",
+    "phase_breakdown",
+    "scaled_speedup_banyan",
+    "scaled_speedup_hypercube",
+    "speedup_at_processors",
+    "speedup_curve",
+    "speedup_ratio",
+    "strip_square_ratio",
+    "table1_optimal_speedup",
+    "uses_all_processors",
+]

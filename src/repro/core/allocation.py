@@ -1,0 +1,187 @@
+"""Optimal processor allocation (the paper's central question).
+
+Given a machine, a workload, and a partition shape, find the partition
+area ``A`` (equivalently the processor count ``P = n²/A``) minimizing
+the cycle time, subject to a machine-size cap.  The paper's structural
+result drives the algorithm:
+
+* **monotone machines** (hypercube, mesh, banyan): ``t_cycle`` decreases
+  in ``P`` on ``[2, n²]``, so the optimum is *extremal* — either all
+  available processors or just one (when even two processors lose to
+  the serial run);
+* **buses**: ``t_cycle(A)`` is convex with a possibly *interior*
+  optimum; the closed form is clipped into the admissible range and
+  compared against the one-processor run.
+
+Continuous optima are the paper's; ``integer=True`` restores
+integrality with the paper's bracketing rule (strips: areas are
+multiples of ``n``; squares: floor/ceil of the processor count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.optimize import golden_section_minimize
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.machines.bus import BusArchitecture
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["Allocation", "admissible_area_range", "optimize_allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An optimized assignment of the grid to processors."""
+
+    processors: float
+    area: float
+    cycle_time: float
+    speedup: float
+    efficiency: float
+    #: "one" (serial wins), "all" (machine-size bound), or "interior"
+    #: (a strict bus optimum using fewer than the available processors).
+    regime: str
+    kind: PartitionKind
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise InvalidParameterError("allocation needs at least one processor")
+
+
+def admissible_area_range(
+    workload: Workload, kind: PartitionKind, max_processors: float | None
+) -> tuple[float, float]:
+    """Feasible continuous partition areas ``[A_min, A_max]``.
+
+    Strips cannot be thinner than one grid row (``A ≥ n``); squares
+    bottom out at one point.  A machine-size cap raises the floor to
+    ``n²/N``.  The ceiling is the whole grid (one processor).
+    """
+    n2 = float(workload.grid_points)
+    a_min = float(workload.n) if kind is PartitionKind.STRIP else 1.0
+    if max_processors is not None:
+        if max_processors < 1:
+            raise InvalidParameterError("max_processors must be >= 1")
+        a_min = max(a_min, n2 / max_processors)
+    return (min(a_min, n2), n2)
+
+
+def _continuous_candidates(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    a_min: float,
+    a_max: float,
+) -> list[float]:
+    """Candidate areas: range endpoints plus any interior optimum."""
+    candidates = [a_min, a_max]
+    if isinstance(machine, BusArchitecture):
+        a_star = machine.optimal_area(workload, kind)
+        if a_min < a_star < a_max:
+            candidates.append(a_star)
+    elif not machine.monotone_in_processors:
+        # Unknown non-monotone machine: fall back to a numeric search.
+        result = golden_section_minimize(
+            lambda a: float(machine.cycle_time(workload, kind, a)), a_min, a_max
+        )
+        candidates.append(result.x)
+    return candidates
+
+
+def _integer_candidates(
+    workload: Workload,
+    kind: PartitionKind,
+    continuous_area: float,
+    a_min: float,
+    a_max: float,
+) -> list[float]:
+    """Feasible integral areas bracketing a continuous optimum.
+
+    Strips: areas are whole numbers of rows, ``A = h·n`` — the paper's
+    ``A_l = n·⌊Â/n⌋``, ``A_h = A_l + n`` rule.  Squares: bracket the
+    processor count instead (areas ``n²/P`` for integer ``P``), since
+    block decompositions exist for every integer ``P``.
+    """
+    n = workload.n
+    cands: set[float] = set()
+    if kind is PartitionKind.STRIP:
+        h = continuous_area / n
+        for hh in (math.floor(h), math.ceil(h)):
+            hh = min(max(hh, 1), n)
+            cands.add(float(hh * n))
+    else:
+        p = workload.grid_points / continuous_area
+        for pp in (math.floor(p), math.ceil(p)):
+            pp = max(pp, 1)
+            cands.add(workload.grid_points / pp)
+    return [a for a in cands if a_min - 1e-9 <= a <= a_max + 1e-9] or [continuous_area]
+
+
+def optimize_allocation(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    max_processors: float | None = None,
+    integer: bool = False,
+) -> Allocation:
+    """Minimize the cycle time over feasible partition areas.
+
+    Parameters
+    ----------
+    machine, workload, kind:
+        The model triple.
+    max_processors:
+        Machine-size cap ``N``; ``None`` means processors are unlimited
+        (the paper's "optimal speedup" regime).
+    integer:
+        Restore integral allocations via the bracketing rule.
+
+    Returns the best allocation *including* the one-processor option,
+    which pays no communication and can win when the network is slow
+    relative to the problem (Section 4's third case).
+    """
+    a_min, a_max = admissible_area_range(workload, kind, max_processors)
+    candidates = _continuous_candidates(machine, workload, kind, a_min, a_max)
+    if integer:
+        refined: list[float] = []
+        for a in candidates:
+            refined.extend(_integer_candidates(workload, kind, a, a_min, a_max))
+        candidates = refined
+
+    serial = workload.serial_time()
+    best_area = None
+    best_time = math.inf
+    for area in candidates:
+        t = float(machine.cycle_time(workload, kind, area))
+        if t < best_time:
+            best_area, best_time = area, t
+
+    # The one-processor run communicates nothing; it is always feasible.
+    if serial <= best_time or best_area is None:
+        return Allocation(
+            processors=1.0,
+            area=float(workload.grid_points),
+            cycle_time=serial,
+            speedup=1.0,
+            efficiency=1.0,
+            regime="one",
+            kind=kind,
+        )
+
+    processors = workload.grid_points / best_area
+    speedup = serial / best_time
+    at_cap = math.isclose(best_area, a_min, rel_tol=1e-9, abs_tol=1e-9)
+    regime = "all" if at_cap else "interior"
+    return Allocation(
+        processors=processors,
+        area=best_area,
+        cycle_time=best_time,
+        speedup=speedup,
+        efficiency=speedup / processors,
+        regime=regime,
+        kind=kind,
+    )

@@ -1,0 +1,161 @@
+"""Allocation constraints: memory capacity and processor availability.
+
+Section 3 optimizes "subject to memory constraints and processor
+availability constraints", and Section 4 notes that "if memory
+limitations prohibit [one processor], then the computation should be
+spread maximally".  This module materializes those constraints:
+
+* :class:`MachineSize` — how many processors exist, and how many grid
+  points (plus ghost/boundary copies) fit in one processor's memory;
+* :func:`constrained_allocation` — the allocation optimizer with both
+  constraints applied, reporting when memory forces parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation, optimize_allocation
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind, boundary_points
+
+__all__ = ["MachineSize", "min_processors_for_memory", "constrained_allocation"]
+
+
+@dataclass(frozen=True)
+class MachineSize:
+    """Physical machine limits.
+
+    ``memory_points`` is the number of grid-point values one processor
+    can hold, counting the partition itself plus the ghost copies of
+    ``k`` perimeters of neighbour data it must import.  ``None`` means
+    memory is not a binding constraint.
+    """
+
+    n_processors: int
+    memory_points: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise InvalidParameterError("machine needs at least one processor")
+        if self.memory_points is not None and self.memory_points < 4:
+            raise InvalidParameterError(
+                "memory must hold at least a few grid points"
+            )
+
+
+def _memory_footprint(
+    workload: Workload, kind: PartitionKind, area: float
+) -> float:
+    """Points resident on one processor: partition + imported perimeters."""
+    k = workload.k(kind)
+    return area + boundary_points(kind, max(int(area), 1), workload.n, k)
+
+
+def min_processors_for_memory(
+    workload: Workload, kind: PartitionKind, machine_size: MachineSize
+) -> int:
+    """Fewest processors whose partitions (with halos) fit in memory.
+
+    Returns 1 when memory is unconstrained.  Raises when even one point
+    per processor overflows (the problem simply does not fit).
+    """
+    cap = machine_size.memory_points
+    if cap is None:
+        return 1
+    n2 = workload.grid_points
+
+    def fits(processors: int) -> bool:
+        area = n2 / processors
+        return _memory_footprint(workload, kind, area) <= cap
+
+    if fits(1):
+        return 1
+    if not fits(machine_size.n_processors):
+        raise InvalidParameterError(
+            f"problem needs more memory than {machine_size.n_processors} "
+            f"processors of {cap:g} points provide"
+        )
+    lo, hi = 1, machine_size.n_processors
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if fits(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class ConstrainedAllocation:
+    """An allocation plus which constraints were active."""
+
+    allocation: Allocation
+    min_processors: int
+    memory_bound: bool
+
+    @property
+    def processors(self) -> float:
+        return self.allocation.processors
+
+    @property
+    def speedup(self) -> float:
+        return self.allocation.speedup
+
+
+def constrained_allocation(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    machine_size: MachineSize,
+    integer: bool = False,
+) -> ConstrainedAllocation:
+    """Optimize under both machine-size and memory constraints.
+
+    When memory rules out small processor counts, the admissible area
+    range shrinks from above; in particular the serial fallback
+    disappears — Section 4's "spread maximally" case.
+    """
+    p_min = min_processors_for_memory(workload, kind, machine_size)
+    base = optimize_allocation(
+        machine,
+        workload,
+        kind,
+        max_processors=machine_size.n_processors,
+        integer=integer,
+    )
+    if base.processors >= p_min:
+        return ConstrainedAllocation(
+            allocation=base, min_processors=p_min, memory_bound=False
+        )
+
+    # Memory forbids the unconstrained optimum: clamp the area ceiling.
+    area_cap = workload.grid_points / p_min
+    candidates = [area_cap, workload.grid_points / machine_size.n_processors]
+    if integer and kind is PartitionKind.STRIP:
+        candidates = [
+            float(max(1, math.floor(a / workload.n)) * workload.n)
+            for a in candidates
+        ]
+    best_area = min(
+        (a for a in candidates if a <= area_cap + 1e-9),
+        key=lambda a: float(machine.cycle_time(workload, kind, a)),
+    )
+    cycle = float(machine.cycle_time(workload, kind, best_area))
+    processors = workload.grid_points / best_area
+    speedup = workload.serial_time() / cycle
+    forced = Allocation(
+        processors=processors,
+        area=best_area,
+        cycle_time=cycle,
+        speedup=speedup,
+        efficiency=speedup / processors,
+        regime="all" if processors >= machine_size.n_processors * (1 - 1e-9) else "interior",
+        kind=kind,
+    )
+    return ConstrainedAllocation(
+        allocation=forced, min_processors=p_min, memory_bound=True
+    )

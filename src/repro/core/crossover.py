@@ -1,0 +1,93 @@
+"""Crossover analysis: where one design choice overtakes another.
+
+The paper's qualitative claims — squares beat strips for large
+problems, hypercubes beat banyans only through the log factor, buses
+fall behind everything as problems grow — all reduce to crossover
+points of speedup curves.  These helpers locate them numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.parameters import Workload
+from repro.core.speedup import optimal_speedup
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = [
+    "speedup_ratio",
+    "strip_square_ratio",
+    "find_crossover_grid_size",
+    "CrossoverResult",
+]
+
+
+def speedup_ratio(
+    machine_a: Architecture,
+    machine_b: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    max_processors: float | None = None,
+) -> float:
+    """Optimal-speedup ratio A/B at one problem size (>1 means A wins)."""
+    sa = optimal_speedup(machine_a, workload, kind, max_processors).speedup
+    sb = optimal_speedup(machine_b, workload, kind, max_processors).speedup
+    return sa / sb
+
+
+def strip_square_ratio(
+    machine: Architecture,
+    workload: Workload,
+    max_processors: float | None = None,
+) -> float:
+    """Optimal-speedup ratio strips/squares (<1 confirms squares win)."""
+    s_strip = optimal_speedup(
+        machine, workload, PartitionKind.STRIP, max_processors
+    ).speedup
+    s_square = optimal_speedup(
+        machine, workload, PartitionKind.SQUARE, max_processors
+    ).speedup
+    return s_strip / s_square
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Grid side where a predicate first becomes true (and stays true)."""
+
+    n: int
+    value_before: float
+    value_after: float
+
+
+def find_crossover_grid_size(
+    metric: Callable[[int], float],
+    threshold: float = 1.0,
+    n_lo: int = 2,
+    n_hi: int = 1 << 16,
+) -> CrossoverResult:
+    """Smallest ``n`` in ``[n_lo, n_hi]`` with ``metric(n) >= threshold``.
+
+    ``metric`` must be monotone non-decreasing in ``n`` over the search
+    range (true for the speedup ratios of interest: larger problems
+    amortize fixed costs).  Raises when the threshold is never reached.
+    """
+    if n_lo >= n_hi:
+        raise InvalidParameterError("need n_lo < n_hi")
+    if metric(n_hi) < threshold:
+        raise InvalidParameterError(
+            f"metric never reaches {threshold} up to n = {n_hi}"
+        )
+    if metric(n_lo) >= threshold:
+        return CrossoverResult(n=n_lo, value_before=math.nan, value_after=metric(n_lo))
+    lo, hi = n_lo, n_hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if metric(mid) >= threshold:
+            hi = mid
+        else:
+            lo = mid
+    return CrossoverResult(n=hi, value_before=metric(lo), value_after=metric(hi))

@@ -1,0 +1,105 @@
+"""Cycle-time curves and phase breakdowns over partition-size sweeps.
+
+Thin, array-oriented wrappers over the machine models: evaluate
+``t_cycle`` along a sweep of areas or processor counts, split it into
+compute/communication phases, and locate the communication-bound
+crossover.  All heavy lifting lives in :mod:`repro.machines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = [
+    "CyclePhases",
+    "cycle_time_curve",
+    "cycle_time_vs_processors",
+    "phase_breakdown",
+    "communication_fraction",
+]
+
+
+@dataclass(frozen=True)
+class CyclePhases:
+    """One cycle split into its compute and communication parts."""
+
+    compute: float
+    communication: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communication
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.communication / self.total if self.total > 0 else 0.0
+
+
+def cycle_time_curve(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    areas: np.ndarray,
+) -> np.ndarray:
+    """``t_cycle`` evaluated over an array of partition areas."""
+    areas = np.asarray(areas, dtype=float)
+    return np.asarray(machine.cycle_time(workload, kind, areas), dtype=float)
+
+
+def cycle_time_vs_processors(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    processors: np.ndarray,
+) -> np.ndarray:
+    """``t_cycle`` over processor counts; ``P = 1`` maps to the serial time.
+
+    One processor suffers no communication (Section 4), a special case
+    the area-based formulas cannot express because their volumes assume
+    at least one partition boundary.
+    """
+    processors = np.asarray(processors, dtype=float)
+    if np.any(processors < 1):
+        raise InvalidParameterError("processor counts must be >= 1")
+    areas = workload.grid_points / processors
+    out = cycle_time_curve(machine, workload, kind, areas)
+    serial = workload.serial_time()
+    return np.where(processors == 1.0, serial, out)
+
+
+def phase_breakdown(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    area: float,
+) -> CyclePhases:
+    """Split one cycle at the given partition area into phases.
+
+    For overlap-capable machines (asynchronous bus) "communication" is
+    the non-overlapped remainder: ``t_cycle − t_comp``.
+    """
+    compute = workload.compute_time(area)
+    total = float(machine.cycle_time(workload, kind, area))
+    return CyclePhases(compute=compute, communication=max(total - compute, 0.0))
+
+
+def communication_fraction(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    areas: np.ndarray,
+) -> np.ndarray:
+    """Fraction of the cycle spent off-compute along an area sweep."""
+    areas = np.asarray(areas, dtype=float)
+    total = cycle_time_curve(machine, workload, kind, areas)
+    compute = workload.flops_per_point * areas * workload.t_flop
+    with np.errstate(invalid="ignore", divide="ignore"):
+        frac = np.clip((total - compute) / total, 0.0, 1.0)
+    return frac

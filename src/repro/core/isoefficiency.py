@@ -1,0 +1,120 @@
+"""Isoefficiency: how fast must the problem grow to hold efficiency?
+
+A natural extension of the paper's scaling analysis (it became the
+standard lens a few years later): fix a target efficiency ``e = S/N``
+and ask how the problem size ``n²`` must grow with the machine size
+``N`` to maintain it.  The paper's cycle-time models answer directly:
+
+* hypercube/mesh (fixed F regime): efficiency is set by the points per
+  processor alone, so ``n² ∝ N`` — perfectly scalable;
+* banyan: the ``log N`` read term must be amortized, ``n² ∝ N·log²N``
+  (squares);
+* buses: communication grows with *total* volume, so efficiency decays
+  unless ``n²`` grows polynomially faster than N — the isoefficiency
+  function is ``n² ∝ N³`` for squares (from ``S ∝ (n²)^(1/3)``: holding
+  ``S/N`` constant needs ``(n²)^(1/3) ∝ N``).
+
+:func:`isoefficiency_exponent` measures the growth exponent from the
+model numerically, so these claims are tested, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.core.speedup import speedup_at_processors
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["grid_for_efficiency", "isoefficiency_exponent", "IsoefficiencyFit"]
+
+
+def grid_for_efficiency(
+    machine: Architecture,
+    workload_template: Workload,
+    kind: PartitionKind,
+    n_processors: int,
+    target_efficiency: float,
+    n_max: int = 1 << 18,
+) -> int:
+    """Smallest grid side whose all-N speedup reaches ``e·N``.
+
+    Binary search on ``n``; efficiency at fixed N increases with problem
+    size for every machine in the model (communication amortizes), so
+    the search is well-posed.  Raises when ``n_max`` is insufficient.
+    """
+    if not 0 < target_efficiency < 1:
+        raise InvalidParameterError("target efficiency must be in (0, 1)")
+    if n_processors < 2:
+        raise InvalidParameterError("isoefficiency needs at least 2 processors")
+
+    def efficient(n: int) -> bool:
+        w = workload_template.with_n(n)
+        s = speedup_at_processors(machine, w, kind, float(n_processors))
+        return s >= target_efficiency * n_processors
+
+    lo = max(2, n_processors if kind is PartitionKind.STRIP else 2)
+    # Grid must host at least one point (strip: one row) per processor.
+    while lo * lo < n_processors:
+        lo += 1
+    if efficient(lo):
+        return lo
+    hi = lo
+    while hi < n_max and not efficient(hi):
+        hi *= 2
+    if hi >= n_max and not efficient(hi):
+        raise InvalidParameterError(
+            f"no grid up to {n_max} reaches efficiency {target_efficiency} "
+            f"on {n_processors} processors"
+        )
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if efficient(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass(frozen=True)
+class IsoefficiencyFit:
+    """Fitted growth law ``n² ∝ N^exponent`` for constant efficiency."""
+
+    exponent: float
+    processors: tuple[int, ...]
+    problem_sizes: tuple[int, ...]
+
+
+def isoefficiency_exponent(
+    machine: Architecture,
+    workload_template: Workload,
+    kind: PartitionKind,
+    processor_counts: Sequence[int],
+    target_efficiency: float = 0.5,
+) -> IsoefficiencyFit:
+    """Fit the isoefficiency exponent over a processor sweep.
+
+    Expected: ~1 for hypercube/mesh, slightly above 1 for the banyan,
+    3 for bus squares, 4 for bus strips.
+    """
+    if len(processor_counts) < 2:
+        raise InvalidParameterError("need at least two processor counts")
+    sides = [
+        grid_for_efficiency(
+            machine, workload_template, kind, p, target_efficiency
+        )
+        for p in processor_counts
+    ]
+    log_n2 = np.log([float(s) * s for s in sides])
+    log_p = np.log(np.asarray(processor_counts, dtype=float))
+    slope = float(np.polyfit(log_p, log_n2, 1)[0])
+    return IsoefficiencyFit(
+        exponent=slope,
+        processors=tuple(processor_counts),
+        problem_sizes=tuple(sides),
+    )

@@ -1,0 +1,108 @@
+"""Hardware-leverage analysis (Section 6.1's "what should we speed up?").
+
+Starting from an *optimized* configuration, how much does doubling one
+hardware parameter improve the re-optimized cycle time?  The paper's
+closed-form answers at the bus optimum:
+
+* strips (c ≈ 0): doubling the bus **or** the flop speed each give a
+  factor ``1/√2`` — they enter the optimized time symmetrically;
+* squares (c = 0): doubling the bus gives 0.63 (``(1/2)^(2/3)``),
+  doubling the flop speed 0.79 (``(1/2)^(1/3)``) — communication is
+  twice the computation at the optimum, so the bus has more leverage;
+* when ``c`` dominates (c ≫ b, strips), bus speed barely matters but
+  halving ``c`` cuts the communication term linearly.
+
+:func:`leverage_factor` measures these ratios through the generic
+optimizer so they hold for any machine, not just the closed-form cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.allocation import optimize_allocation
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["LeverageReport", "leverage_factor", "leverage_report"]
+
+_MACHINE_FIELDS = ("b", "c", "alpha", "beta", "w")
+_WORKLOAD_FIELDS = ("t_flop",)
+
+
+@dataclass(frozen=True)
+class LeverageReport:
+    """Re-optimized cycle-time ratios after speeding one component up 2×."""
+
+    baseline_cycle_time: float
+    #: parameter name -> (new optimal cycle time) / (old optimal cycle time)
+    factors: dict[str, float]
+
+
+def _speed_up_parameter(
+    machine: Architecture, workload: Workload, parameter: str, factor: float
+) -> tuple[Architecture, Workload]:
+    """Return copies with ``parameter`` scaled by ``1/factor`` (faster)."""
+    if factor <= 0:
+        raise InvalidParameterError("speed-up factor must be positive")
+    if parameter in _WORKLOAD_FIELDS:
+        return machine, workload.with_t_flop(workload.t_flop / factor)
+    if parameter in _MACHINE_FIELDS and hasattr(machine, parameter):
+        new_machine = dataclasses.replace(
+            machine, **{parameter: getattr(machine, parameter) / factor}
+        )
+        return new_machine, workload
+    raise InvalidParameterError(
+        f"machine {machine.name!r} has no tunable parameter {parameter!r}"
+    )
+
+
+def leverage_factor(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    parameter: str,
+    factor: float = 2.0,
+    max_processors: float | None = None,
+) -> float:
+    """``t*_new / t*_old`` after making ``parameter`` ``factor``× faster.
+
+    Both sides re-optimize the allocation, matching the paper's framing:
+    "suppose that we have optimized performance … and wish to increase
+    processor or bus speed".  Values below 1 are improvements; the
+    closed-form expectations are 1/√2 ≈ 0.707 (strips, b or t_flop) and
+    0.63 / 0.79 (squares, b / t_flop).
+    """
+    base = optimize_allocation(machine, workload, kind, max_processors)
+    fast_machine, fast_workload = _speed_up_parameter(machine, workload, parameter, factor)
+    fast = optimize_allocation(fast_machine, fast_workload, kind, max_processors)
+    return fast.cycle_time / base.cycle_time
+
+
+def leverage_report(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    parameters: tuple[str, ...] = ("b", "c", "t_flop"),
+    factor: float = 2.0,
+    max_processors: float | None = None,
+) -> LeverageReport:
+    """Leverage factors for several parameters at once.
+
+    Parameters the machine does not expose are skipped silently (e.g.
+    asking a hypercube about bus cycle time ``b``), so one report call
+    works across architectures.
+    """
+    base = optimize_allocation(machine, workload, kind, max_processors)
+    factors: dict[str, float] = {}
+    for p in parameters:
+        if p in _WORKLOAD_FIELDS or hasattr(machine, p):
+            if p in _MACHINE_FIELDS and getattr(machine, p, 0.0) == 0.0:
+                continue  # speeding up a zero-cost component is meaningless
+            factors[p] = leverage_factor(
+                machine, workload, kind, p, factor, max_processors
+            )
+    return LeverageReport(baseline_cycle_time=base.cycle_time, factors=factors)

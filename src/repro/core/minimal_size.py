@@ -1,0 +1,179 @@
+"""Smallest grid that gainfully uses all N processors (Figure 7).
+
+On a bus, the optimal allocation uses *fewer* than the available ``N``
+processors when the problem is too small — the paper's inequalities:
+
+* synchronous strips (4):   fewer than N  ⟺  ``N²·b/T_fp > E·n / (4k)``
+* asynchronous strips:      fewer than N  ⟺  ``N²·b/T_fp > E·n / (2k)``
+* squares, c = 0 (6):       fewer than N  ⟺  ``N^(3/2)·b/T_fp > E·n / (4k)``
+  (identical for synchronous and asynchronous — the optimal side is
+  the same)
+
+Treating each as an equality and solving for ``n`` gives the minimal
+problem size; Figure 7 plots ``log2(n²_min)`` against ``N``.  Strips
+always demand a larger problem than squares (N² vs N^(3/2)), one of the
+paper's arguments for square partitions.
+
+Coefficients here are for the default read+write volume accounting;
+:func:`minimal_grid_size_numeric` works for any machine/mode by asking
+the optimizer directly, and the tests check both paths agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.allocation import optimize_allocation
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.machines.bus import AsynchronousBus, BusArchitecture, SynchronousBus
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = [
+    "uses_all_processors",
+    "minimal_grid_side",
+    "minimal_problem_size",
+    "minimal_grid_size_numeric",
+    "max_useful_processors",
+]
+
+
+def _volume_coefficient(machine: BusArchitecture, kind: PartitionKind) -> float:
+    """The ``v·k``-side constant in the closed-form thresholds."""
+    sync = isinstance(machine, SynchronousBus)
+    if kind is PartitionKind.STRIP:
+        if sync:
+            return 4.0 if machine.volume_mode == "read_write" else 2.0
+        return 2.0  # asynchronous strips: write backlog only
+    # Squares: sync (c=0) and async share the optimal side.
+    if sync:
+        return 4.0 if machine.volume_mode == "read_write" else 2.0
+    return 4.0
+
+
+def uses_all_processors(
+    machine: BusArchitecture,
+    workload: Workload,
+    kind: PartitionKind,
+    n_processors: int,
+) -> bool:
+    """Inequalities (4)/(6): does the optimum spread over all N processors?
+
+    True when the continuous optimal area is at most ``n²/N``; the
+    closed forms assume ``c = 0`` for squares (conservative otherwise —
+    positive ``c`` shrinks the synchronous optimal partition).
+    """
+    if n_processors < 1:
+        raise InvalidParameterError("n_processors must be >= 1")
+    optimal = machine.optimal_area(workload, kind)
+    return optimal <= workload.grid_points / n_processors
+
+
+def minimal_grid_side(
+    machine: BusArchitecture,
+    stencil_k: int,
+    flops_per_point: float,
+    t_flop: float,
+    n_processors: int,
+    kind: PartitionKind,
+    synchronous: bool | None = None,
+) -> float:
+    """Closed-form minimal ``n`` using all N processors (Figure 7's y-axis
+    is ``log2(n²)`` of this value).
+
+    * strips:  ``n_min = v·k·b·N² / (E·T_fp)``  (v = 4 sync, 2 async)
+    * squares: ``n_min = v·k·b·N^(3/2) / (E·T_fp)``  (v = 4, c = 0)
+    """
+    if n_processors < 1:
+        raise InvalidParameterError("n_processors must be >= 1")
+    v = _volume_coefficient(machine, kind)
+    et = flops_per_point * t_flop
+    if kind is PartitionKind.STRIP:
+        return v * stencil_k * machine.b * n_processors**2 / et
+    return v * stencil_k * machine.b * n_processors**1.5 / et
+
+
+def minimal_problem_size(
+    machine: BusArchitecture,
+    workload_template: Workload,
+    kind: PartitionKind,
+    n_processors: int,
+) -> float:
+    """``n²_min`` for the template's stencil/flop-time on this machine."""
+    n_min = minimal_grid_side(
+        machine,
+        workload_template.k(kind),
+        workload_template.flops_per_point,
+        workload_template.t_flop,
+        n_processors,
+        kind,
+    )
+    return n_min * n_min
+
+
+def minimal_grid_size_numeric(
+    machine: Architecture,
+    workload_template: Workload,
+    kind: PartitionKind,
+    n_processors: int,
+    n_max: int = 1 << 20,
+) -> int:
+    """Smallest integer ``n`` whose *unconstrained* optimal area fits all N.
+
+    Matches the paper's Figure-7 criterion — "the minimal problem size
+    which uses all N processors" is where the interior optimum reaches
+    the ``n²/N`` boundary — but finds the optimum by golden-section
+    search on the cycle-time curve instead of the closed form, so the
+    two paths check each other.  (Profitability against the serial run
+    is a separate question the paper treats in the allocation analysis,
+    not in Figure 7.)
+    """
+    from repro.core.optimize import golden_section_minimize
+
+    def all_used(n: int) -> bool:
+        workload = workload_template.with_n(n)
+        a_floor = float(n) if kind is PartitionKind.STRIP else 1.0
+        a_ceil = float(workload.grid_points)
+        best = golden_section_minimize(
+            lambda a: float(machine.cycle_time(workload, kind, a)),
+            a_floor,
+            a_ceil,
+            tol=1e-12,
+        )
+        return best.x <= workload.grid_points / n_processors * (1.0 + 1e-6)
+
+    lo, hi = n_processors, n_max  # need at least one row/point per processor
+    if not all_used(hi):
+        raise InvalidParameterError(
+            f"even n = {n_max} does not use all {n_processors} processors"
+        )
+    if all_used(lo):
+        return lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if all_used(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def max_useful_processors(
+    machine: BusArchitecture,
+    workload: Workload,
+    kind: PartitionKind,
+) -> float:
+    """Largest N for which the optimum still spreads over all N.
+
+    Inverts the Figure-7 relation: for the Section-6.1 anchor this is
+    14.0 (5-point) / 22.2 (9-point) on a 256×256 grid with squares.
+    """
+    v = _volume_coefficient(machine, kind)
+    k = workload.k(kind)
+    et = workload.flops_per_point * workload.t_flop
+    ratio = et * workload.n / (v * k * machine.b)
+    if kind is PartitionKind.STRIP:
+        return math.sqrt(ratio)
+    return ratio ** (2.0 / 3.0)

@@ -1,0 +1,119 @@
+"""Numeric optimization utilities for the cycle-time curves.
+
+Every architecture's ``t_cycle(A)`` in this model is convex on the
+admissible range (the paper proves this case by case), so minimization
+needs nothing heavier than golden-section search plus careful endpoint
+handling.  These routines exist to *cross-check* the closed forms in
+:mod:`repro.machines` and to handle machines or modes with no closed
+form (e.g. synchronous bus squares with c > 0 under integer
+constraints).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "golden_section_minimize",
+    "brute_force_minimize",
+    "bracketing_integers",
+    "is_discretely_convex",
+    "ScalarMinimum",
+]
+
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0  # 1/φ ≈ 0.618
+
+
+@dataclass(frozen=True)
+class ScalarMinimum:
+    """Result of a scalar minimization: location and value."""
+
+    x: float
+    value: float
+
+
+def golden_section_minimize(
+    f: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> ScalarMinimum:
+    """Minimize a unimodal ``f`` on ``[lo, hi]`` by golden-section search.
+
+    ``tol`` is relative to the interval width.  Convexity of the cycle
+    times guarantees unimodality; for safety the endpoints are also
+    evaluated and can win (the minimum may sit on the boundary when the
+    unconstrained optimum is clipped).
+    """
+    if not lo < hi:
+        raise InvalidParameterError(f"need lo < hi, got [{lo}, {hi}]")
+    a, b = lo, hi
+    c = b - (b - a) * _INV_PHI
+    d = a + (b - a) * _INV_PHI
+    fc, fd = f(c), f(d)
+    for _ in range(max_iter):
+        if (b - a) <= tol * max(1.0, abs(a) + abs(b)):
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - (b - a) * _INV_PHI
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + (b - a) * _INV_PHI
+            fd = f(d)
+    x_mid = (a + b) / 2.0
+    candidates = [(lo, f(lo)), (hi, f(hi)), (x_mid, f(x_mid))]
+    x, val = min(candidates, key=lambda t: t[1])
+    return ScalarMinimum(x=x, value=val)
+
+
+def brute_force_minimize(
+    f: Callable[[float], float], xs: Iterable[float]
+) -> ScalarMinimum:
+    """Exact minimum over an explicit candidate set (integer feasibility)."""
+    best_x: float | None = None
+    best_v = math.inf
+    for x in xs:
+        v = f(x)
+        if v < best_v:
+            best_x, best_v = x, v
+    if best_x is None:
+        raise InvalidParameterError("empty candidate set")
+    return ScalarMinimum(x=best_x, value=best_v)
+
+
+def bracketing_integers(x: float, lo: int, hi: int) -> list[int]:
+    """The feasible integers surrounding a continuous optimum.
+
+    Returns ``{floor(x), ceil(x)}`` clamped into ``[lo, hi]``, which is
+    sufficient to restore integrality for a convex objective (the
+    paper's ``A_l = n·⌊Â/n⌋, A_h = A_l + n`` rule is the same idea with
+    a stride).
+    """
+    if lo > hi:
+        raise InvalidParameterError(f"empty integer range [{lo}, {hi}]")
+    cands = {int(math.floor(x)), int(math.ceil(x))}
+    out = sorted(min(max(c, lo), hi) for c in cands)
+    return sorted(set(out))
+
+
+def is_discretely_convex(values: Sequence[float], rel_tol: float = 1e-9) -> bool:
+    """Check second differences of a sampled curve are non-negative.
+
+    Used by the property tests to verify the paper's convexity claims on
+    realistic parameter grids (sampling, not proof).
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size < 3:
+        return True
+    second = v[2:] - 2.0 * v[1:-1] + v[:-2]
+    scale = np.maximum(np.abs(v[1:-1]), 1.0)
+    return bool(np.all(second >= -rel_tol * scale))

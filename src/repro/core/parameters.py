@@ -1,0 +1,87 @@
+"""Problem-side parameters of the model (Section 3).
+
+A :class:`Workload` bundles everything the cycle-time equations need
+from the *problem*: grid size ``n`` (the domain is ``n × n``), the
+discretization stencil ``S`` (which fixes both ``E(S)`` and ``k(P,S)``),
+and the per-flop time ``T_fp`` of one processor.  Machine-side
+parameters live in :mod:`repro.machines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import InvalidParameterError
+from repro.stencils.perimeter import PartitionKind, perimeters_required
+from repro.stencils.stencil import Stencil
+from repro.units import MICROSECOND
+
+__all__ = ["Workload", "DEFAULT_T_FLOP"]
+
+#: 1 µs per flop — a 1-MFLOPS processor, the paper's era.  All results of
+#: interest are ratios, so this only sets the absolute time scale.
+DEFAULT_T_FLOP = MICROSECOND
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ``n × n`` elliptic-PDE iteration workload.
+
+    Attributes
+    ----------
+    n:
+        Grid points per side; the problem size is ``n²``.
+    stencil:
+        Discretization stencil; supplies ``E(S)`` (flops per point) and
+        the perimeter count ``k(P, S)``.
+    t_flop:
+        ``T_fp``, seconds per floating-point operation.
+    """
+
+    n: int
+    stencil: Stencil
+    t_flop: float = DEFAULT_T_FLOP
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise InvalidParameterError(f"grid size must be >= 1, got {self.n}")
+        if self.t_flop <= 0:
+            raise InvalidParameterError(f"t_flop must be positive, got {self.t_flop}")
+
+    # ----------------------------------------------------------- shortcuts
+
+    @property
+    def grid_points(self) -> int:
+        """Problem size ``n²``."""
+        return self.n * self.n
+
+    @property
+    def flops_per_point(self) -> float:
+        """``E(S)``."""
+        return self.stencil.flops_per_point
+
+    def k(self, kind: PartitionKind) -> int:
+        """``k(P, S)`` for this stencil under partition shape ``kind``."""
+        return perimeters_required(kind, self.stencil)
+
+    def compute_time(self, area: float) -> float:
+        """``t_comp = E(S) · A · T_fp`` for a partition of ``area`` points."""
+        if area <= 0:
+            raise InvalidParameterError(f"partition area must be positive, got {area}")
+        return self.flops_per_point * area * self.t_flop
+
+    def serial_time(self) -> float:
+        """One-processor iteration time (no communication is suffered)."""
+        return self.compute_time(self.grid_points)
+
+    # -------------------------------------------------------------- variants
+
+    def with_n(self, n: int) -> "Workload":
+        """Same problem at a different grid size (scaling sweeps)."""
+        return replace(self, n=n)
+
+    def with_stencil(self, stencil: Stencil) -> "Workload":
+        return replace(self, stencil=stencil)
+
+    def with_t_flop(self, t_flop: float) -> "Workload":
+        return replace(self, t_flop=t_flop)

@@ -1,0 +1,105 @@
+"""Allocation restricted to the paper's *working rectangles*.
+
+The continuous optimizer treats partition area as a real number; the
+paper's actual decompositions must tile the grid with legal rectangles
+(Section 3, Figures 5/6).  This module closes the loop: given the
+continuous optimum, pick the closest working rectangle and report how
+much the integrality + squareness restriction costs.
+
+The Figure-6 analysis predicts the answer — "the costs obtained are not
+far different from costs that are truly achievable" — and the E-FIG6
+ablation bench quantifies it (typically well under 5% in cycle time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import optimize_allocation
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.partitioning.rectangles import (
+    DEFAULT_PERIMETER_TOLERANCE,
+    LegalRectangle,
+    closest_working_rectangle,
+    working_rectangles,
+)
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["WorkingRectangleAllocation", "optimize_with_working_rectangles"]
+
+
+@dataclass(frozen=True)
+class WorkingRectangleAllocation:
+    """A realizable square-partition allocation.
+
+    ``relative_overhead`` is ``(realizable − continuous)/continuous``
+    cycle time: the price of insisting on a tileable, nearly-square
+    rectangle instead of the ideal real-valued square.
+    """
+
+    rectangle: LegalRectangle
+    processors: float
+    cycle_time: float
+    speedup: float
+    continuous_cycle_time: float
+    relative_overhead: float
+
+
+def optimize_with_working_rectangles(
+    machine: Architecture,
+    workload: Workload,
+    max_processors: float | None = None,
+    tolerance: float = DEFAULT_PERIMETER_TOLERANCE,
+    neighbourhood: int = 3,
+) -> WorkingRectangleAllocation:
+    """Best working rectangle near the continuous square optimum.
+
+    Evaluates the ``neighbourhood`` working rectangles on each side of
+    the area-closest candidate (the cycle-time curve is convex, so a
+    local scan suffices) and returns the cheapest.  Cycle times use the
+    *actual* rectangle area; its perimeter is within the squareness
+    tolerance by construction, so the square volume formula applies to
+    Figure-6 accuracy.
+    """
+    if neighbourhood < 0:
+        raise InvalidParameterError("neighbourhood must be non-negative")
+    continuous = optimize_allocation(
+        machine, workload, PartitionKind.SQUARE, max_processors=max_processors
+    )
+    candidates = working_rectangles(workload.n, tolerance)
+    if not candidates:
+        raise InvalidParameterError(
+            f"grid {workload.n} admits no working rectangles at tol {tolerance}"
+        )
+    anchor = closest_working_rectangle(workload.n, continuous.area, tolerance)
+    idx = candidates.index(anchor)
+    lo = max(0, idx - neighbourhood)
+    hi = min(len(candidates), idx + neighbourhood + 1)
+
+    best: LegalRectangle | None = None
+    best_time = float("inf")
+    for rect in candidates[lo:hi]:
+        area = float(rect.area)
+        if max_processors is not None and workload.grid_points / area > max_processors:
+            continue
+        if area > workload.grid_points:
+            continue
+        t = float(machine.cycle_time(workload, PartitionKind.SQUARE, area))
+        if t < best_time:
+            best, best_time = rect, t
+    if best is None:
+        raise InvalidParameterError(
+            "no working rectangle satisfies the processor cap"
+        )
+    processors = workload.grid_points / best.area
+    return WorkingRectangleAllocation(
+        rectangle=best,
+        processors=processors,
+        cycle_time=best_time,
+        speedup=workload.serial_time() / best_time,
+        continuous_cycle_time=continuous.cycle_time,
+        relative_overhead=(best_time - continuous.cycle_time)
+        / continuous.cycle_time,
+    )

@@ -1,0 +1,153 @@
+"""Architecture scaling laws: scaled speedup, Table I, exponent fits.
+
+Two growth regimes from the paper:
+
+* **fixed machine** (Section 4/6): speedup → N as n² → ∞ for every
+  architecture — "good speedup by growing the problem" holds;
+* **machine grows with the problem** (Sections 4, 6, 7; Table I):
+  optimal speedup scales as n² (hypercube/mesh), n²/log n (banyan),
+  (n²)^(1/3) (bus, squares), (n²)^(1/4) (bus, strips).
+
+:func:`fit_scaling_exponent` measures the exponent empirically from an
+optimal-speedup sweep, which is how the benches check Table I's shape
+without trusting the closed forms they are validating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.core.speedup import optimal_speedup
+from repro.errors import InvalidParameterError
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.base import Architecture
+from repro.machines.hypercube import Hypercube
+from repro.stencils.perimeter import PartitionKind
+from repro.stencils.stencil import Stencil
+
+__all__ = [
+    "scaled_speedup_hypercube",
+    "scaled_speedup_banyan",
+    "table1_optimal_speedup",
+    "optimal_speedup_sweep",
+    "fit_scaling_exponent",
+    "ScalingFit",
+]
+
+
+def scaled_speedup_hypercube(
+    machine: Hypercube,
+    stencil: Stencil,
+    t_flop: float,
+    n: int,
+    points_per_processor: float,
+) -> float:
+    """Section 4's scaled speedup: grow N with n² keeping F points each.
+
+    The cycle time is the constant
+    ``C = E·F·T_fp + 8·(⌈√F·k/packet⌉·α + β)``, so speedup
+    ``E·n²·T_fp / C`` is linear in n².
+    """
+    if points_per_processor <= 0:
+        raise InvalidParameterError("points_per_processor must be positive")
+    side = math.sqrt(points_per_processor)
+    k = stencil.reach  # square partitions
+    per_event = machine.message_time(k * side)
+    cycle = stencil.flops_per_point * points_per_processor * t_flop + 8.0 * float(
+        per_event
+    )
+    serial = stencil.flops_per_point * n * n * t_flop
+    return serial / cycle
+
+
+def scaled_speedup_banyan(
+    machine: BanyanNetwork,
+    stencil: Stencil,
+    t_flop: float,
+    n: int,
+    points_per_processor: float,
+) -> float:
+    """Section 7's scaled speedup with F fixed: Θ(n²/log n) for squares.
+
+    ``t = 8·k·√F·w·log2(n²/F) + E·F·T_fp``.
+    """
+    if points_per_processor <= 0:
+        raise InvalidParameterError("points_per_processor must be positive")
+    processors = n * n / points_per_processor
+    if processors < 1:
+        raise InvalidParameterError("grid smaller than one processor's share")
+    side = math.sqrt(points_per_processor)
+    k = stencil.reach
+    cycle = 8.0 * k * side * machine.w * max(math.log2(processors), 0.0) + (
+        stencil.flops_per_point * points_per_processor * t_flop
+    )
+    serial = stencil.flops_per_point * n * n * t_flop
+    return serial / cycle
+
+
+def table1_optimal_speedup(
+    machine: Architecture, workload: Workload
+) -> float:
+    """Table I: optimal speedup, square partitions, one point per processor
+    where appropriate (hypercube, banyan); bus rows use their interior
+    optimum.  All rows are exercised through the generic optimizer so the
+    table doubles as an integration test of the whole model stack.
+    """
+    from repro.machines.bus import BusArchitecture
+
+    if isinstance(machine, BusArchitecture):
+        return optimal_speedup(machine, workload, PartitionKind.SQUARE).speedup
+    # Monotone machines: one point per processor.
+    serial = workload.serial_time()
+    cycle = float(machine.cycle_time(workload, PartitionKind.SQUARE, 1.0))
+    return serial / cycle
+
+
+def optimal_speedup_sweep(
+    machine: Architecture,
+    workload_template: Workload,
+    kind: PartitionKind,
+    grid_sizes: Sequence[int],
+    max_processors: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Optimal speedup at each grid size; returns (n² array, speedup array)."""
+    n2 = np.array([float(n) * n for n in grid_sizes])
+    sp = np.array(
+        [
+            optimal_speedup(
+                machine, workload_template.with_n(n), kind, max_processors
+            ).speedup
+            for n in grid_sizes
+        ]
+    )
+    return n2, sp
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Power-law fit ``speedup ≈ C · (n²)^exponent`` over a sweep."""
+
+    exponent: float
+    log_constant: float
+    residual: float
+
+
+def fit_scaling_exponent(problem_sizes: Sequence[float], speedups: Sequence[float]) -> ScalingFit:
+    """Least-squares slope of log(speedup) against log(n²).
+
+    For a pure power law the slope recovers the exponent exactly; for
+    the banyan's ``n²/log n`` the fitted slope sits slightly below 1 and
+    approaches it from below as the sweep widens.
+    """
+    x = np.log(np.asarray(problem_sizes, dtype=float))
+    y = np.log(np.asarray(speedups, dtype=float))
+    if x.size < 2:
+        raise InvalidParameterError("need at least two points to fit an exponent")
+    coeffs, residuals, *_ = np.polyfit(x, y, 1, full=True)
+    resid = float(residuals[0]) if len(residuals) else 0.0
+    return ScalingFit(exponent=float(coeffs[0]), log_constant=float(coeffs[1]), residual=resid)

@@ -1,0 +1,102 @@
+"""Parameter elasticities of the optimized cycle time.
+
+Generalizes the leverage analysis (Section 6.1's doubling experiments)
+to infinitesimal sensitivities: the elasticity
+
+``ε_θ = d ln t* / d ln θ``
+
+says that a 1% improvement in parameter ``θ`` buys ``ε_θ`` percent of
+optimized cycle time.  Elasticities expose the paper's structure
+directly — at a c=0 bus optimum they are exactly
+
+* strips:  ε_b = ε_T = 1/2   (time ∝ √(b·E·T));
+* squares: ε_b = 2/3, ε_T = 1/3  (communication is twice computation);
+
+and they always sum to 1 over {b, c, T_fp} for buses (cycle time is
+homogeneous of degree 1 in the time-valued parameters), a conservation
+law the tests exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import optimize_allocation
+from repro.core.leverage import _speed_up_parameter
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["elasticity", "elasticity_profile", "ElasticityProfile"]
+
+
+def elasticity(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    parameter: str,
+    max_processors: float | None = None,
+    step: float = 1e-4,
+) -> float:
+    """Central-difference log-log derivative of t* w.r.t. ``parameter``.
+
+    Both evaluations re-optimize the allocation, so the envelope theorem
+    applies: the derivative reflects the optimized system, not a frozen
+    partition size.
+    """
+    if step <= 0 or step >= 0.5:
+        raise InvalidParameterError("step must be in (0, 0.5)")
+    up_machine, up_workload = _speed_up_parameter(
+        machine, workload, parameter, 1.0 / (1.0 + step)  # θ·(1+step)
+    )
+    down_machine, down_workload = _speed_up_parameter(
+        machine, workload, parameter, 1.0 / (1.0 - step)  # θ·(1−step)
+    )
+    import math
+
+    t_up = optimize_allocation(up_machine, up_workload, kind, max_processors).cycle_time
+    t_down = optimize_allocation(
+        down_machine, down_workload, kind, max_processors
+    ).cycle_time
+    return (math.log(t_up) - math.log(t_down)) / (
+        math.log(1.0 + step) - math.log(1.0 - step)
+    )
+
+
+@dataclass(frozen=True)
+class ElasticityProfile:
+    """All parameter elasticities at one operating point."""
+
+    elasticities: dict[str, float]
+
+    def total(self) -> float:
+        """Sum over time-valued parameters; 1.0 for degree-1 homogeneity."""
+        return sum(self.elasticities.values())
+
+    def dominant(self) -> str:
+        """The parameter with the most leverage."""
+        return max(self.elasticities, key=lambda k: self.elasticities[k])
+
+
+_TIME_PARAMETERS = ("b", "c", "alpha", "beta", "w", "t_flop")
+
+
+def elasticity_profile(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    max_processors: float | None = None,
+) -> ElasticityProfile:
+    """Elasticities for every time-valued parameter the machine exposes.
+
+    Zero-valued parameters are skipped (no logarithmic derivative
+    exists at zero cost).
+    """
+    out: dict[str, float] = {}
+    for p in _TIME_PARAMETERS:
+        if p == "t_flop":
+            out[p] = elasticity(machine, workload, kind, p, max_processors)
+        elif hasattr(machine, p) and getattr(machine, p) != 0.0:
+            out[p] = elasticity(machine, workload, kind, p, max_processors)
+    return ElasticityProfile(elasticities=out)

@@ -1,0 +1,168 @@
+"""Speedup and optimal-speedup calculations (equations (5)–(6), Table I).
+
+Speedup compares against the one-processor run, which suffers no
+communication: ``S = t_serial / t_cycle``.  Fixed-machine speedups
+approach ``N`` as the grid grows (the "folk theorem" the paper
+confirms); unlimited-machine *optimal* speedups grow with exponents set
+by the architecture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.allocation import optimize_allocation
+from repro.core.cycle_time import cycle_time_vs_processors
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = [
+    "speedup_at_processors",
+    "speedup_curve",
+    "fixed_machine_speedup",
+    "optimal_speedup",
+    "OptimalSpeedupResult",
+    "closed_form_optimal_speedup_sync_bus",
+    "closed_form_optimal_speedup_async_bus",
+]
+
+
+def speedup_at_processors(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    processors: float,
+) -> float:
+    """``S(P) = t_serial / t_cycle(n²/P)``; ``S(1) = 1`` by definition."""
+    if processors < 1:
+        raise InvalidParameterError("processors must be >= 1")
+    if processors == 1:
+        return 1.0
+    t = float(machine.cycle_time(workload, kind, workload.grid_points / processors))
+    return workload.serial_time() / t
+
+
+def speedup_curve(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    processors: np.ndarray,
+) -> np.ndarray:
+    """Vectorized :func:`speedup_at_processors` over a processor sweep."""
+    times = cycle_time_vs_processors(machine, workload, kind, np.asarray(processors))
+    return workload.serial_time() / times
+
+
+def fixed_machine_speedup(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    n_processors: int,
+) -> float:
+    """Speedup when the grid is spread across all ``n_processors``.
+
+    This is the paper's equation-(5)-style quantity: no optimization,
+    just ``A = n²/N``.  Use :func:`optimal_speedup` for the optimized
+    version (which may use fewer processors on a bus).
+    """
+    return speedup_at_processors(machine, workload, kind, float(n_processors))
+
+
+@dataclass(frozen=True)
+class OptimalSpeedupResult:
+    """Best achievable speedup and the allocation achieving it."""
+
+    speedup: float
+    processors: float
+    area: float
+    cycle_time: float
+    regime: str
+
+
+def optimal_speedup(
+    machine: Architecture,
+    workload: Workload,
+    kind: PartitionKind,
+    max_processors: float | None = None,
+    integer: bool = False,
+) -> OptimalSpeedupResult:
+    """Largest possible speedup for the problem (the paper's headline).
+
+    With ``max_processors=None`` the machine grows with the problem;
+    this is the regime in which hypercubes are Θ(n²), banyans
+    Θ(n²/log n), and buses Θ((n²)^(1/3)) / Θ((n²)^(1/4)).
+    """
+    alloc = optimize_allocation(
+        machine, workload, kind, max_processors=max_processors, integer=integer
+    )
+    return OptimalSpeedupResult(
+        speedup=alloc.speedup,
+        processors=alloc.processors,
+        area=alloc.area,
+        cycle_time=alloc.cycle_time,
+        regime=alloc.regime,
+    )
+
+
+# --------------------------------------------------------------------------
+# Closed forms for the bus optimal speedups (Section 6), used to validate
+# the numeric path and to regenerate Table I.
+# --------------------------------------------------------------------------
+
+
+def closed_form_optimal_speedup_sync_bus(
+    machine: SynchronousBus, workload: Workload, kind: PartitionKind
+) -> float:
+    """Unlimited-processor synchronous-bus optimal speedup.
+
+    Strips: ``S* = E·n²·T / (2·sqrt(E·T·v·k·b·n³) + v·k·c·n)`` with
+    ``v = 4`` (read+write) — proportional to ``(n²)^(1/4)`` for c = 0.
+    Squares (c = 0): ``S* = E·n²·T / (3·(E·T)^(1/3)·((v/2)·k·b·n²)^(2/3))``
+    — proportional to ``(n²)^(1/3)``.
+    """
+    et = workload.flops_per_point * workload.t_flop
+    serial = workload.serial_time()
+    n = workload.n
+    k = workload.k(kind)
+    v = 2.0 * (2 if machine.volume_mode == "read_write" else 1)
+    if kind is PartitionKind.STRIP:
+        t_star = 2.0 * math.sqrt(et * v * k * machine.b * n**3) + v * k * machine.c * n
+        return serial / t_star
+    if machine.c != 0.0:
+        raise InvalidParameterError(
+            "closed-form square optimal speedup requires c = 0; "
+            "use optimal_speedup() for the general case"
+        )
+    t_star = 3.0 * et ** (1.0 / 3.0) * (v * k * machine.b * n**2) ** (2.0 / 3.0)
+    return serial / t_star
+
+
+def closed_form_optimal_speedup_async_bus(
+    machine: AsynchronousBus, workload: Workload, kind: PartitionKind
+) -> float:
+    """Unlimited-processor asynchronous-bus optimal speedup.
+
+    Strips: ``t* = 2·sqrt(2·k·b·E·T·n³) + 2·k·c·n`` — a factor √2 better
+    than synchronous.  Squares (c = 0):
+    ``t* = 2·(E·T)^(1/3)·(4·k·b·n²)^(2/3)`` — 1.5× the synchronous
+    speedup (Section 6.2).
+    """
+    et = workload.flops_per_point * workload.t_flop
+    serial = workload.serial_time()
+    n = workload.n
+    k = workload.k(kind)
+    if kind is PartitionKind.STRIP:
+        t_star = 2.0 * math.sqrt(2.0 * k * machine.b * et * n**3) + 2.0 * k * machine.c * n
+        return serial / t_star
+    # Squares: the optimal side is where compute meets the write backlog
+    # (c does not move it; the c-term below is the read-phase overhead at
+    # that side, exact for c = 0 and the paper's approximation otherwise).
+    s_hat = (4.0 * k * machine.b * n**2 / et) ** (1.0 / 3.0)
+    t_star = 2.0 * et * s_hat**2 + 4.0 * k * machine.c * s_hat
+    return serial / t_star

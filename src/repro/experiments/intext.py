@@ -1,0 +1,217 @@
+"""In-text numerical claims of Section 6 (E-TEXT1..E-TEXT4).
+
+Four worked results the paper states inline rather than in a figure:
+
+* **E-TEXT1** — the N=16 strips-vs-squares example ("Supposing that
+  E(S)·T_fp = b, N = 16, k = 1, and n = 256 …").  The paper's printed
+  formulas, ``16/(1+512/n)`` for strips and ``16/(1+128/n)`` for
+  squares, count communication volume more optimistically than its own
+  derived equations; both accountings are reported here (see
+  EXPERIMENTS.md for the discrepancy discussion).
+* **E-TEXT2** — on a synchronous bus an interior optimum needs
+  ``c/b ≤ P``; the FLEX/32's measured ``c/b ≈ 1000`` therefore forces
+  all-processor allocations.
+* **E-TEXT3** — hardware leverage at the bus optimum (×2 bus / ×2 flop
+  speed).
+* **E-TEXT4** — asynchronous-vs-synchronous improvement factors and the
+  √2 optimal-area ratio for strips.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.allocation import optimize_allocation
+from repro.core.leverage import leverage_factor
+from repro.core.parameters import Workload
+from repro.core.speedup import fixed_machine_speedup
+from repro.experiments.registry import ExperimentResult, register
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.machines.catalog import FLEX32
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["run_intext"]
+
+
+def _paper_printed_strip(n: int, n_procs: int) -> float:
+    return n_procs / (1.0 + 2.0 * n_procs**2 / n)
+
+
+def _paper_printed_square(n: int, n_procs: int) -> float:
+    return n_procs / (1.0 + 2.0 * n_procs**1.5 / n)
+
+
+@register("E-TEXT1")
+def run_intext_example() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E-TEXT1",
+        title="Strips vs squares at N=16, E·T_fp = b (Section 6.1 example)",
+    )
+    b = FIVE_POINT.flops_per_point * 1e-6  # E(S)·T_fp = b with T_fp = 1 µs
+    machines = {
+        "read+write": SynchronousBus(b=b, c=0.0),
+        "read-only": SynchronousBus(b=b, c=0.0, volume_mode="read_only"),
+    }
+    rows = []
+    for n in (256, 1024):
+        w = Workload(n=n, stencil=FIVE_POINT)
+        row: list[object] = [n]
+        for label, machine in machines.items():
+            row.append(fixed_machine_speedup(machine, w, PartitionKind.STRIP, 16))
+            row.append(fixed_machine_speedup(machine, w, PartitionKind.SQUARE, 16))
+        row.append(_paper_printed_strip(n, 16))
+        row.append(_paper_printed_square(n, 16))
+        rows.append(tuple(row))
+    result.add_table(
+        "speedup at N=16",
+        [
+            "n",
+            "strip (rw)",
+            "square (rw)",
+            "strip (ro)",
+            "square (ro)",
+            "strip (paper formula)",
+            "square (paper formula)",
+        ],
+        rows,
+    )
+    result.notes.append(
+        "Every accounting agrees on the shape: squares beat strips at both "
+        "sizes and both converge to N=16 as n grows (paper: strips 5.3→10.6, "
+        "squares 10.6→14.2 under its printed formulas)."
+    )
+    return result
+
+
+@register("E-TEXT2")
+def run_flex32_condition() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E-TEXT2",
+        title="c/b <= P necessary condition; FLEX/32 uses all processors",
+    )
+    rows = []
+    ratio = FLEX32.c / FLEX32.b
+    for n in (128, 256, 512, 1024):
+        w = Workload(n=n, stencil=FIVE_POINT)
+        for n_procs in (8, 16, 30):
+            alloc = optimize_allocation(
+                FLEX32, w, PartitionKind.SQUARE, max_processors=n_procs
+            )
+            rows.append(
+                (
+                    n,
+                    n_procs,
+                    ratio,
+                    alloc.regime,
+                    alloc.processors,
+                    alloc.speedup,
+                )
+            )
+    result.add_table(
+        "FLEX/32-style bus (c/b = 1000) allocations",
+        ["n", "N available", "c/b", "regime", "processors used", "speedup"],
+        rows,
+    )
+    result.notes.append(
+        "An interior optimum with P processors requires c/b <= P (Section "
+        "6.1); with c/b = 1000 >> 30 the optimizer never selects an interior "
+        "point — numerical problems on such a machine use all processors."
+    )
+    return result
+
+
+@register("E-TEXT3")
+def run_leverage() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E-TEXT3",
+        title="Leverage of doubling bus vs flop speed at the bus optimum",
+    )
+    machine = SynchronousBus(b=6.1e-6, c=0.0)
+    w = Workload(n=4096, stencil=FIVE_POINT)
+    rows = []
+    expectations = {
+        (PartitionKind.STRIP, "b"): 1.0 / math.sqrt(2.0),
+        (PartitionKind.STRIP, "t_flop"): 1.0 / math.sqrt(2.0),
+        (PartitionKind.SQUARE, "b"): 0.5 ** (2.0 / 3.0),
+        (PartitionKind.SQUARE, "t_flop"): 0.5 ** (1.0 / 3.0),
+    }
+    for kind in (PartitionKind.STRIP, PartitionKind.SQUARE):
+        for param in ("b", "t_flop"):
+            measured = leverage_factor(machine, w, kind, param)
+            rows.append(
+                (kind.value, param, measured, expectations[(kind, param)])
+            )
+    result.add_table(
+        "cycle-time factor after 2x speedup of one component",
+        ["partition", "component", "computed", "paper"],
+        rows,
+    )
+    # The c-dominated regime: improving b is worthless, halving c is linear.
+    c_heavy = SynchronousBus(b=0.5e-6, c=500e-6)
+    w_mid = Workload(n=1024, stencil=FIVE_POINT)
+    rows2 = [
+        (
+            "b",
+            leverage_factor(c_heavy, w_mid, PartitionKind.STRIP, "b"),
+        ),
+        (
+            "c",
+            leverage_factor(c_heavy, w_mid, PartitionKind.STRIP, "c"),
+        ),
+    ]
+    result.add_table(
+        "c-dominated bus (c/b=1000): leverage of 2x speedups",
+        ["component", "cycle-time factor"],
+        rows2,
+    )
+    result.notes.append(
+        "Squares: doubling the bus gives 0.63, doubling flops 0.79 — "
+        "communication is twice the computation at the optimum.  When c "
+        "dominates, bus speed stops mattering and c improves times linearly."
+    )
+    return result
+
+
+@register("E-TEXT4")
+def run_async_factors() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E-TEXT4",
+        title="Asynchronous vs synchronous bus: constant-factor gains",
+    )
+    sync = SynchronousBus(b=6.1e-6, c=0.0)
+    asyn = AsynchronousBus(b=6.1e-6, c=0.0)
+    rows = []
+    for n in (512, 2048, 8192):
+        w = Workload(n=n, stencil=FIVE_POINT)
+        from repro.core.speedup import optimal_speedup
+
+        st = (
+            optimal_speedup(asyn, w, PartitionKind.STRIP).speedup
+            / optimal_speedup(sync, w, PartitionKind.STRIP).speedup
+        )
+        sq = (
+            optimal_speedup(asyn, w, PartitionKind.SQUARE).speedup
+            / optimal_speedup(sync, w, PartitionKind.SQUARE).speedup
+        )
+        area_ratio = sync.optimal_strip_area(w) / asyn.optimal_strip_area(w)
+        rows.append((n, st, sq, area_ratio))
+    result.add_table(
+        "async/sync ratios",
+        ["n", "strip speedup ratio", "square speedup ratio", "strip area ratio"],
+        rows,
+    )
+    result.add_table(
+        "paper values",
+        ["quantity", "value"],
+        [
+            ("strip speedup ratio", math.sqrt(2.0)),
+            ("square speedup ratio", 1.5),
+            ("strip area ratio (sync/async)", math.sqrt(2.0)),
+        ],
+    )
+    result.notes.append(
+        "Overlap buys only a constant factor: contention still caps optimal "
+        "speedup at O((n²)^(1/4)) strips / O((n²)^(1/3)) squares."
+    )
+    return result

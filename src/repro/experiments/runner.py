@@ -1,0 +1,66 @@
+"""Run experiments from the command line.
+
+``python -m repro.experiments.runner``            — run everything
+``python -m repro.experiments.runner E-FIG7``     — run one experiment
+``python -m repro.experiments.runner --list``     — list ids
+
+Each run prints the textual report and writes the CSV artifacts under
+``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Importing the experiment modules populates the registry.
+import repro.experiments.analysis_exp  # noqa: F401
+import repro.experiments.extensions  # noqa: F401
+import repro.experiments.figure6  # noqa: F401
+import repro.experiments.figure7  # noqa: F401
+import repro.experiments.figure8  # noqa: F401
+import repro.experiments.intext  # noqa: F401
+import repro.experiments.ktable  # noqa: F401
+import repro.experiments.scaled  # noqa: F401
+import repro.experiments.simulation  # noqa: F401
+import repro.experiments.solver_exp  # noqa: F401
+import repro.experiments.table1  # noqa: F401
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.report.csvio import default_results_dir
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(output_dir: Path | None = None, ids: list[str] | None = None) -> list[str]:
+    """Run the selected (default: all) experiments; returns their reports."""
+    output_dir = output_dir or default_results_dir()
+    reports = []
+    registry = all_experiments()
+    for exp_id in ids or sorted(registry):
+        runner = get_experiment(exp_id)
+        result = runner()
+        result.write_csvs(output_dir)
+        reports.append(result.render())
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--output", type=Path, default=None, help="CSV directory")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in sorted(all_experiments()):
+            print(exp_id)
+        return 0
+    for report in run_all(args.output, args.ids or None):
+        print(report)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

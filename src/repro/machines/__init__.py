@@ -1,0 +1,49 @@
+"""Parallel-architecture models: hypercube, mesh, buses, banyan."""
+
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.base import Architecture
+from repro.machines.bus import (
+    VOLUME_MODES,
+    AsynchronousBus,
+    BusArchitecture,
+    SynchronousBus,
+)
+from repro.machines.bus_extensions import FullyAsynchronousBus
+from repro.machines.mapping import RandomMappingHypercube
+from repro.machines.catalog import (
+    BBN_BUTTERFLY,
+    DEFAULT_MACHINES,
+    FEM_MESH,
+    FLEX32,
+    FLEX32_ASYNC,
+    IBM_RP3,
+    INTEL_IPSC,
+    PAPER_BUS,
+    PAPER_BUS_ASYNC,
+    by_name,
+)
+from repro.machines.hypercube import Hypercube
+from repro.machines.mesh import MeshGrid
+
+__all__ = [
+    "Architecture",
+    "AsynchronousBus",
+    "BBN_BUTTERFLY",
+    "BanyanNetwork",
+    "BusArchitecture",
+    "DEFAULT_MACHINES",
+    "FEM_MESH",
+    "FLEX32",
+    "FLEX32_ASYNC",
+    "FullyAsynchronousBus",
+    "Hypercube",
+    "IBM_RP3",
+    "INTEL_IPSC",
+    "MeshGrid",
+    "PAPER_BUS",
+    "RandomMappingHypercube",
+    "PAPER_BUS_ASYNC",
+    "SynchronousBus",
+    "VOLUME_MODES",
+    "by_name",
+]

@@ -1,0 +1,80 @@
+"""Banyan-type switching networks (Section 7) — IBM RP3, BBN Butterfly.
+
+Under the paper's assumptions (one global-memory module per processor,
+2×2 switches, boundary values placed so concurrent reads never collide
+at a switch, asynchronous contention-free writes) a global-memory read
+costs two trips across ``log2(N)`` switch stages:
+
+``r_w = 2 · w · log2(N)``
+
+with ``w`` the switch traversal time.  The cycle is a synchronous read
+phase followed by computation (writes overlap):
+
+* strips:  ``t = 2·k·n · r_w + E·A·T  = 4·k·n·w·log2(N) + E·A·T``
+* squares: ``t = 4·k·s · r_w + E·s²·T = 8·k·s·w·log2(N) + E·s²·T``
+
+For realistic parameters this is minimized by the extremal allocations
+(one processor or all of them), like the hypercube — the log factor
+grows too slowly to create a useful interior optimum.  Optimal speedup
+scales as ``n²/log(n)`` (squares, fixed points per processor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture, validate_area
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["BanyanNetwork"]
+
+
+@dataclass(frozen=True)
+class BanyanNetwork(Architecture):
+    """Multistage 2×2 switching network with contention-free reads.
+
+    Parameters
+    ----------
+    w:
+        Per-stage switch traversal time (seconds).
+    """
+
+    w: float
+
+    name = "banyan"
+    monotone_in_processors = True
+    scalable = True
+
+    def __post_init__(self) -> None:
+        if self.w <= 0:
+            raise InvalidParameterError("switch time w must be positive")
+
+    def stages(self, processors: Any) -> Any:
+        """Switch stages crossed one way: ``log2(N)``, 0 for one processor.
+
+        ``N`` is treated continuously, matching the paper's analysis;
+        the simulator uses the discrete ``ceil(log2(N))`` stage count.
+        """
+        return np.maximum(np.log2(np.asarray(processors, dtype=float)), 0.0)
+
+    def read_word_time(self, processors: Any) -> Any:
+        """``2·w·log2(N)`` — two network traversals per word."""
+        return 2.0 * self.w * self.stages(processors)
+
+    def read_volume(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        k = workload.k(kind)
+        if kind is PartitionKind.STRIP:
+            return 2.0 * k * workload.n + 0.0 * np.asarray(area, dtype=float)
+        return 4.0 * k * np.sqrt(np.asarray(area, dtype=float))
+
+    def communication_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        validate_area(workload, area)
+        processors = workload.grid_points / np.asarray(area, dtype=float)
+        return self.read_volume(workload, kind, area) * self.read_word_time(processors)

@@ -1,0 +1,103 @@
+"""Architecture interface: everything the model needs from a machine.
+
+Each architecture supplies one iteration's cycle time
+
+``t_cycle(A) = t_comp(A) + t_a(A)``      (equation (1))
+
+as a function of partition area ``A`` (points per processor), partition
+shape, and the workload.  Implementations must accept float areas — the
+paper's analysis is continuous, with integrality restored afterwards by
+:mod:`repro.core.allocation` — and must be NumPy-friendly so curves can
+be evaluated over arrays of areas in one call.
+
+The key structural property the paper exploits is whether ``t_cycle``
+is *monotone decreasing in the processor count* (hypercube, mesh,
+banyan: optimal allocation is extremal) or can have an *interior
+minimum* (buses: contention grows with processors).  Machines declare
+this via :attr:`Architecture.monotone_in_processors`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["Architecture", "validate_area"]
+
+
+def validate_area(workload: Workload, area: Any) -> None:
+    """Reject non-positive or over-full partition areas.
+
+    Accepts scalars or arrays; an area may not exceed the whole grid
+    (that would mean fewer than one processor).
+    """
+    arr = np.asarray(area, dtype=float)
+    if np.any(arr <= 0):
+        raise InvalidParameterError("partition area must be positive")
+    if np.any(arr > workload.grid_points):
+        raise InvalidParameterError(
+            f"partition area {np.max(arr)} exceeds grid size {workload.grid_points}"
+        )
+
+
+class Architecture(abc.ABC):
+    """A parallel machine's communication model."""
+
+    #: Human-readable architecture family name.
+    name: str = "abstract"
+
+    #: True when t_cycle is monotone in the processor count, making the
+    #: optimal allocation extremal (Sections 4, 5, 7); False for buses.
+    monotone_in_processors: bool = True
+
+    #: True when the machine size is in principle unbounded (hypercube,
+    #: banyan built to order); False when vendors cap it (buses, tens of
+    #: processors).  Informational — callers pass explicit caps.
+    scalable: bool = True
+
+    # ------------------------------------------------------------ interface
+
+    @abc.abstractmethod
+    def communication_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        """``t_a``: data access/transfer + synchronization time per cycle.
+
+        For overlap-capable machines this is the *non-overlapped* part,
+        i.e. whatever extends the cycle beyond pure computation; the
+        asynchronous bus overrides :meth:`cycle_time` instead because
+        its overlap is a ``max``, not a sum.
+        """
+
+    def cycle_time(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """``t_cycle = t_comp + t_a`` (equation (1))."""
+        validate_area(workload, area)
+        comp = workload.flops_per_point * np.asarray(area, dtype=float) * workload.t_flop
+        total = comp + self.communication_time(workload, kind, area)
+        if np.ndim(area) == 0:
+            return float(total)
+        return total
+
+    # ----------------------------------------------------------- conveniences
+
+    def cycle_time_all_processors(
+        self, workload: Workload, kind: PartitionKind, processors: float
+    ) -> float:
+        """Cycle time when the grid is spread over ``processors`` machines."""
+        if processors <= 0:
+            raise InvalidParameterError("processors must be positive")
+        if processors == 1:
+            # One processor suffers no communication (Section 4).
+            return workload.serial_time()
+        return float(
+            self.cycle_time(workload, kind, workload.grid_points / processors)
+        )
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"

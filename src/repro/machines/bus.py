@@ -1,0 +1,247 @@
+"""Shared-memory bus architectures (Section 6) — e.g. the FLEX/32.
+
+Transferring one word to/from global memory costs ``c + b`` ignoring
+contention: ``c`` is fixed requester-side overhead (address calculation,
+bus acquisition), ``b`` the bus cycle time.  With ``P`` processors
+simultaneously requesting service the bus serializes, and the effective
+per-word delay seen by each processor is ``c + b·P`` (Section 6.1,
+footnote 3).
+
+Two service disciplines are modelled:
+
+* :class:`SynchronousBus` — a requester waits for every transfer;
+  ``t_a = volume · (c + b·P)``.
+* :class:`AsynchronousBus` — writes overlap computation: an iteration is
+  a synchronous read phase (half the volume) followed by
+  ``max(t_comp, bus backlog)`` (equation (7)).
+
+Both admit *interior* optima: communication cost per processor
+*decreases* with partition area, so ``t_cycle(A)`` is a convex sum of an
+increasing and a decreasing term.  Closed-form optima are provided as
+methods and cross-checked numerically in the tests.
+
+``volume_mode`` selects the boundary-volume accounting: the derived
+equations count reads + writes (``"read_write"``, default); the paper's
+in-text N=16 example counts reads only (``"read_only"``).  See
+EXPERIMENTS.md § E-TEXT1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture, validate_area
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["BusArchitecture", "SynchronousBus", "AsynchronousBus", "VOLUME_MODES"]
+
+VOLUME_MODES = ("read_write", "read_only")
+
+
+@dataclass(frozen=True)
+class BusArchitecture(Architecture):
+    """Common state and volume accounting for bus machines.
+
+    Parameters
+    ----------
+    b:
+        Bus cycle time per word (seconds).
+    c:
+        Fixed per-word overhead (seconds); FLEX/32 measurements put
+        ``c/b ≈ 1000``, the paper's motivating extreme.
+    volume_mode:
+        ``"read_write"`` (default) or ``"read_only"`` — see module docs.
+    """
+
+    b: float
+    c: float = 0.0
+    volume_mode: str = "read_write"
+
+    name = "bus"
+    monotone_in_processors = False
+    scalable = False
+
+    def __post_init__(self) -> None:
+        if self.b <= 0:
+            raise InvalidParameterError("bus cycle time b must be positive")
+        if self.c < 0:
+            raise InvalidParameterError("overhead c must be non-negative")
+        if self.volume_mode not in VOLUME_MODES:
+            raise InvalidParameterError(
+                f"volume_mode must be one of {VOLUME_MODES}, got {self.volume_mode!r}"
+            )
+
+    # ------------------------------------------------------------- volumes
+
+    def _direction_factor(self) -> int:
+        """2 when reads and writes both hit the bus, 1 for reads only."""
+        return 2 if self.volume_mode == "read_write" else 1
+
+    def read_volume(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """Words a partition reads per iteration: ``2·k·n`` or ``4·k·s``."""
+        k = workload.k(kind)
+        if kind is PartitionKind.STRIP:
+            return 2.0 * k * workload.n + 0.0 * np.asarray(area, dtype=float)
+        return 4.0 * k * np.sqrt(np.asarray(area, dtype=float))
+
+    def write_volume(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """Words written back; equal to the read volume (footnote 4)."""
+        return self.read_volume(workload, kind, area)
+
+    def bus_volume(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """Per-partition word volume that the service discipline charges."""
+        factor = self._direction_factor()
+        return factor * self.read_volume(workload, kind, area)
+
+    def effective_word_delay(self, workload: Workload, area: Any) -> Any:
+        """``c + b·P`` with ``P = n²/A`` simultaneous requesters."""
+        processors = workload.grid_points / np.asarray(area, dtype=float)
+        return self.c + self.b * processors
+
+    # ---------------------------------------------------- shared closed form
+
+    def _strip_comm_coefficient(self, workload: Workload) -> float:
+        """``v·k·b·n³`` in ``t_a = v·k·b·n³/A + v·k·c·n`` (v = 4 or 2)."""
+        v = 2.0 * self._direction_factor()
+        return v * workload.k(PartitionKind.STRIP) * self.b * workload.n**3
+
+
+@dataclass(frozen=True)
+class SynchronousBus(BusArchitecture):
+    """Bus where every transfer stalls its requester (Section 6.1)."""
+
+    name = "synchronous-bus"
+
+    def communication_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        validate_area(workload, area)
+        return self.bus_volume(workload, kind, area) * self.effective_word_delay(
+            workload, area
+        )
+
+    # ----------------------------------------------------- closed-form optima
+
+    def optimal_strip_area(self, workload: Workload) -> float:
+        """Equation (3): ``Â = sqrt(v·k·b·n³ / (E·T_fp))``.
+
+        Note the overhead ``c`` does not influence the optimal area —
+        the ``c`` term of ``t_a`` is independent of ``A`` for strips.
+        """
+        coeff = self._strip_comm_coefficient(workload)
+        return math.sqrt(coeff / (workload.flops_per_point * workload.t_flop))
+
+    def optimal_square_side(self, workload: Workload) -> float:
+        """Positive root of ``E·T·s³ + (v/2)·k·c·s² − (v/2)·k·b·n² = 0``.
+
+        With ``c = 0`` this is the paper's ``ŝ = ((v/2)·k·b·n²/(E·T))^(1/3)``
+        (``v/2 = 4`` in read+write accounting).
+        """
+        k = workload.k(PartitionKind.SQUARE)
+        et = workload.flops_per_point * workload.t_flop
+        half_v = 2.0 * self._direction_factor()  # 4 (rw) or 2 (ro)
+        if self.c == 0.0:
+            return (half_v * k * self.b * workload.n**2 / et) ** (1.0 / 3.0)
+        roots = np.roots(
+            [et, half_v * k * self.c, 0.0, -half_v * k * self.b * workload.n**2]
+        )
+        real = roots[np.isreal(roots)].real
+        positive = real[real > 0]
+        if positive.size != 1:  # pragma: no cover - cubic has one sign change
+            raise InvalidParameterError("expected exactly one positive root")
+        return float(positive[0])
+
+    def optimal_area(self, workload: Workload, kind: PartitionKind) -> float:
+        """Unconstrained continuous optimal partition area."""
+        if kind is PartitionKind.STRIP:
+            return self.optimal_strip_area(workload)
+        return self.optimal_square_side(workload) ** 2
+
+
+@dataclass(frozen=True)
+class AsynchronousBus(BusArchitecture):
+    """Bus with asynchronous writes overlapping computation (Section 6.2).
+
+    The cycle is ``t = t_read + max(t_comp, b · B_total)`` where
+    ``t_read`` is half the synchronous ``t_a`` (the read phase is still
+    synchronous) and ``B_total`` is the grid-wide write backlog offered
+    to the bus during the compute phase (equation (7)).  Boundary points
+    are updated first, so whenever a backlog exists the bus has been
+    busy for the whole compute phase — hence the ``max``.
+    """
+
+    name = "asynchronous-bus"
+
+    def read_time(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """Synchronous read phase: read volume at the contended word rate."""
+        return self.read_volume(workload, kind, area) * self.effective_word_delay(
+            workload, area
+        )
+
+    def write_backlog_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        """``b · B_total``: bus time to drain all processors' writes."""
+        area_arr = np.asarray(area, dtype=float)
+        processors = workload.grid_points / area_arr
+        total_words = self.write_volume(workload, kind, area) * processors
+        return self.b * total_words
+
+    def communication_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        """Non-overlapped communication: read phase plus any write backlog
+        sticking out beyond the compute phase."""
+        validate_area(workload, area)
+        comp = (
+            workload.flops_per_point * np.asarray(area, dtype=float) * workload.t_flop
+        )
+        backlog = self.write_backlog_time(workload, kind, area)
+        overhang = np.maximum(backlog - comp, 0.0)
+        return self.read_time(workload, kind, area) + overhang
+
+    def cycle_time(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """Equation (7): ``t_read + max(t_comp, b·B_total)``."""
+        validate_area(workload, area)
+        area_arr = np.asarray(area, dtype=float)
+        comp = workload.flops_per_point * area_arr * workload.t_flop
+        total = self.read_time(workload, kind, area) + np.maximum(
+            comp, self.write_backlog_time(workload, kind, area)
+        )
+        if np.ndim(area) == 0:
+            return float(total)
+        return total
+
+    # ----------------------------------------------------- closed-form optima
+
+    def optimal_strip_area(self, workload: Workload) -> float:
+        """Minimum where compute equals write backlog:
+        ``Â = sqrt(2·k·b·n³ / (E·T))`` — a factor √2 below the
+        synchronous optimum (Section 6.2).
+
+        Unlike the synchronous case this does not depend on
+        ``volume_mode``: reads and writes enter the asynchronous cycle
+        separately, so there is no accounting ambiguity.
+        """
+        k = workload.k(PartitionKind.STRIP)
+        coeff = 2.0 * k * self.b * workload.n**3
+        return math.sqrt(coeff / (workload.flops_per_point * workload.t_flop))
+
+    def optimal_square_side(self, workload: Workload) -> float:
+        """``ŝ = (4·k·b·n²/(E·T))^(1/3)`` — identical to the synchronous
+        c=0 side (Section 6.2: "This area is identical to that
+        calculated for the synchronous bus case")."""
+        k = workload.k(PartitionKind.SQUARE)
+        et = workload.flops_per_point * workload.t_flop
+        return (4.0 * k * self.b * workload.n**2 / et) ** (1.0 / 3.0)
+
+    def optimal_area(self, workload: Workload, kind: PartitionKind) -> float:
+        if kind is PartitionKind.STRIP:
+            return self.optimal_strip_area(workload)
+        return self.optimal_square_side(workload) ** 2

@@ -1,0 +1,90 @@
+"""Named machine presets with paper-era parameter magnitudes.
+
+Absolute constants for 1985-vintage machines are only loosely recorded
+in the paper, so these presets are *calibrated*, not measured:
+
+* ``PAPER_BUS`` reproduces the Figure-7 anchor stated in Section 6.1 —
+  "a 256×256 grid with square partitions and a 5-point stencil should
+  be solved on 1 to 14 processors; the same grid with a 9-point stencil
+  should use 1 to 22 processors."  With ``E(5pt)=5``, ``E(9pt)=10``,
+  ``T_fp = 1 µs`` this pins ``E·T_fp/b ≈ 0.82`` for the 5-point
+  stencil, i.e. ``b = 6.1 µs``.
+* ``FLEX32`` uses the Section-6.1 measurement ``c/b ≈ 1000``.
+* Hypercube/banyan presets use magnitudes typical of the cited machines
+  (iPSC: ~ms message startup; Butterfly: sub-µs switch stages).
+
+Every preset can be rebuilt with different constants via
+``dataclasses.replace``; no result in this repo depends on the absolute
+scale, only on the ratios the paper calls out.
+"""
+
+from __future__ import annotations
+
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.machines.mesh import MeshGrid
+from repro.units import MICROSECOND, MILLISECOND
+
+__all__ = [
+    "INTEL_IPSC",
+    "FEM_MESH",
+    "PAPER_BUS",
+    "PAPER_BUS_ASYNC",
+    "FLEX32",
+    "FLEX32_ASYNC",
+    "BBN_BUTTERFLY",
+    "IBM_RP3",
+    "DEFAULT_MACHINES",
+    "by_name",
+]
+
+#: Intel iPSC-like hypercube: ~1 ms per-message startup, 1 KB packets at
+#: ~0.8 ms per packet (≈1.25 MB/s link), 128 8-byte words per packet.
+INTEL_IPSC = Hypercube(alpha=0.8 * MILLISECOND, beta=1.0 * MILLISECOND, packet_words=128)
+
+#: NASA Finite Element Machine-style mesh: slower serial links, but
+#: dedicated convergence-check hardware on a global bus.
+FEM_MESH = MeshGrid(
+    alpha=1.0 * MILLISECOND,
+    beta=0.5 * MILLISECOND,
+    packet_words=64,
+    convergence_hardware=True,
+)
+
+#: The bus whose constants anchor Figures 7 and 8 (see module docs).
+PAPER_BUS = SynchronousBus(b=6.1 * MICROSECOND, c=0.0)
+
+#: Same bus with asynchronous writes (Section 6.2).
+PAPER_BUS_ASYNC = AsynchronousBus(b=6.1 * MICROSECOND, c=0.0)
+
+#: FLEX/32-like bus: c/b = 1000 (Section 6.1's measured extreme).
+FLEX32 = SynchronousBus(b=0.5 * MICROSECOND, c=500.0 * MICROSECOND)
+
+FLEX32_ASYNC = AsynchronousBus(b=0.5 * MICROSECOND, c=500.0 * MICROSECOND)
+
+#: BBN Butterfly-like banyan: ~0.2 µs per 2×2 switch stage.
+BBN_BUTTERFLY = BanyanNetwork(w=0.2 * MICROSECOND)
+
+#: IBM RP3-like banyan: a faster switch.
+IBM_RP3 = BanyanNetwork(w=0.1 * MICROSECOND)
+
+DEFAULT_MACHINES = {
+    "ipsc": INTEL_IPSC,
+    "fem": FEM_MESH,
+    "paper-bus": PAPER_BUS,
+    "paper-bus-async": PAPER_BUS_ASYNC,
+    "flex32": FLEX32,
+    "flex32-async": FLEX32_ASYNC,
+    "butterfly": BBN_BUTTERFLY,
+    "rp3": IBM_RP3,
+}
+
+
+def by_name(name: str):
+    """Look up a preset machine; raises ``KeyError`` listing known names."""
+    try:
+        return DEFAULT_MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEFAULT_MACHINES))
+        raise KeyError(f"unknown machine {name!r}; known machines: {known}") from None

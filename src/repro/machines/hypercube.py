@@ -1,0 +1,99 @@
+"""Hypercube machines (Section 4) — e.g. the Intel iPSC.
+
+Adjacent partitions map to adjacent processors (grey-code embedding of
+strips, 2-D embedding of blocks), so a message never contends with
+traffic between other partition pairs.  One message of ``V`` words
+costs
+
+``t_n = ceil(V / packet_words) · alpha + beta``
+
+with ``alpha`` the per-packet transmission cost and ``beta`` the fixed
+startup.  Single-port, half-duplex communication (footnote 2) means the
+per-neighbour send and receive events serialize: a square partition
+performs 8 message events per cycle (4 neighbours × send+receive), a
+strip 4 (2 neighbours × send+receive), each carrying one ``k``-perimeter
+side's worth of words.
+
+``t_cycle`` is strictly decreasing in the processor count over
+``[2, n²]``, so the optimal allocation is extremal (all processors, or
+one when communication overwhelms even two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture, validate_area
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["Hypercube"]
+
+
+@dataclass(frozen=True)
+class Hypercube(Architecture):
+    """Message-passing hypercube with contention-free neighbour links.
+
+    Parameters
+    ----------
+    alpha:
+        Per-packet transmission cost (seconds).
+    beta:
+        Per-message startup cost (seconds).
+    packet_words:
+        Words per packet; volumes are rounded up to whole packets.
+    """
+
+    alpha: float
+    beta: float
+    packet_words: int = 1
+
+    name = "hypercube"
+    monotone_in_processors = True
+    scalable = True
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise InvalidParameterError("alpha and beta must be non-negative")
+        if self.alpha == 0 and self.beta == 0:
+            raise InvalidParameterError(
+                "a free network makes every speedup infinite; give alpha or beta > 0"
+            )
+        if self.packet_words < 1:
+            raise InvalidParameterError("packet_words must be >= 1")
+
+    # ------------------------------------------------------------- volumes
+
+    def message_events(self, kind: PartitionKind) -> int:
+        """Serialized message events per cycle (send+receive per neighbour)."""
+        return 4 if kind is PartitionKind.STRIP else 8
+
+    def words_per_event(self, workload: Workload, kind: PartitionKind, area: Any) -> Any:
+        """Words moved by one message event: one neighbour's ``k`` perimeters.
+
+        Strips exchange ``k·n`` words per direction; squares ``k·s``
+        words per side.
+        """
+        k = workload.k(kind)
+        if kind is PartitionKind.STRIP:
+            return k * workload.n + 0.0 * np.asarray(area, dtype=float)
+        return k * np.sqrt(np.asarray(area, dtype=float))
+
+    def message_time(self, volume_words: Any) -> Any:
+        """``t_n`` for one message of the given volume (equation, Sec. 4)."""
+        packets = np.ceil(np.asarray(volume_words, dtype=float) / self.packet_words)
+        return packets * self.alpha + self.beta
+
+    # ------------------------------------------------------------ interface
+
+    def communication_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        validate_area(workload, area)
+        events = self.message_events(kind)
+        per_event = self.message_time(self.words_per_event(workload, kind, area))
+        return events * per_event

@@ -1,0 +1,63 @@
+"""Ablation: what the hypercube's adjacency-preserving embedding buys.
+
+Section 4 stresses that mapping logically adjacent partitions onto
+physically adjacent processors means "there is no contention for
+communication resources between non-logically adjacent partitions" and
+message cost is distance-independent.  This module models the
+counterfactual — a *random* partition-to-processor mapping — so the
+embedding's value can be measured:
+
+* a random pair of nodes in a ``d``-cube is ``d/2`` hops apart on
+  average, so store-and-forward messages pay ``d/2`` full message
+  times (``d = log2 N``);
+* every message now crosses ~``d/2`` links, multiplying total link
+  traffic by the same factor; with each node contributing the same
+  number of messages, the expected slowdown from contention is modelled
+  as that dilation factor again on the α-term.
+
+The result: the constant-cycle scaled-speedup property dies — cycle
+time grows like ``log N``, demoting the hypercube to banyan-like
+``Θ(n²/log n)`` optimal speedup.  The E-ABL-MAPPING bench quantifies
+the gap against the embedded mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.machines.base import validate_area
+from repro.machines.hypercube import Hypercube
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = ["RandomMappingHypercube"]
+
+
+@dataclass(frozen=True)
+class RandomMappingHypercube(Hypercube):
+    """Hypercube whose partitions land on random nodes (no embedding).
+
+    ``dilation(N) = max(1, log2(N)/2)`` multiplies the transmission
+    term of every message (store-and-forward across that many hops, and
+    an equal expected contention inflation); the startup ``beta`` is
+    paid once per hop as well, which is what makes small messages so
+    expensive without the embedding.
+    """
+
+    name = "hypercube-random-mapping"
+
+    def dilation(self, processors: Any) -> Any:
+        d = np.log2(np.maximum(np.asarray(processors, dtype=float), 1.0))
+        return np.maximum(d / 2.0, 1.0)
+
+    def communication_time(
+        self, workload: Workload, kind: PartitionKind, area: Any
+    ) -> Any:
+        validate_area(workload, area)
+        processors = workload.grid_points / np.asarray(area, dtype=float)
+        events = self.message_events(kind)
+        per_event = self.message_time(self.words_per_event(workload, kind, area))
+        return events * per_event * self.dilation(processors)

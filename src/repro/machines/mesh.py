@@ -1,0 +1,42 @@
+"""Grid (mesh) architectures (Section 5) — Illiac IV, NASA's FEM.
+
+Nearest-neighbour topology: strips and blocks embed with logical
+neighbours physically adjacent, so the hypercube's contention-free
+message model applies verbatim.  The observations of Section 4 carry
+over: cycle time is monotone in the processor count and the optimal
+allocation is extremal.
+
+The one modelled difference is the optional *global bus with
+convergence hardware*: such machines check convergence at (near) zero
+communication cost, whereas hypercubes must disseminate a flag through
+the network (Section 4's discussion; costs modelled in
+:mod:`repro.solver.convergence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.hypercube import Hypercube
+
+__all__ = ["MeshGrid"]
+
+
+@dataclass(frozen=True)
+class MeshGrid(Hypercube):
+    """Nearest-neighbour grid machine.
+
+    Inherits the hypercube's per-message cost model — both are
+    contention-free nearest-neighbour networks for this algorithm; they
+    differ only in which partition counts embed (a mesh wants the block
+    grid to match its physical shape, handled by the decomposition
+    layer) and in convergence-check support.
+    """
+
+    #: When True, the machine has dedicated hardware (global bus +
+    #: comparator) that makes convergence checks communication-free.
+    convergence_hardware: bool = True
+
+    name = "mesh"
+    monotone_in_processors = True
+    scalable = True

@@ -1,0 +1,54 @@
+"""Domain decomposition: strips, working rectangles, block covers."""
+
+from repro.partitioning.decomposition import (
+    Decomposition,
+    HaloEdge,
+    block_grid_shape,
+    decompose_blocks,
+    decomposition_for,
+)
+from repro.partitioning.geometry import (
+    area_for_processors,
+    partition_side,
+    processors_for_area,
+    read_volume,
+    transfer_volume,
+    write_volume,
+)
+from repro.partitioning.partition import Partition
+from repro.partitioning.rectangles import (
+    DEFAULT_PERIMETER_TOLERANCE,
+    ApproximationError,
+    LegalRectangle,
+    approximation_errors,
+    closest_working_rectangle,
+    divisors,
+    legal_rectangles,
+    working_rectangles,
+)
+from repro.partitioning.strips import decompose_strips, strip_heights
+
+__all__ = [
+    "ApproximationError",
+    "DEFAULT_PERIMETER_TOLERANCE",
+    "Decomposition",
+    "HaloEdge",
+    "LegalRectangle",
+    "Partition",
+    "approximation_errors",
+    "area_for_processors",
+    "block_grid_shape",
+    "closest_working_rectangle",
+    "decompose_blocks",
+    "decompose_strips",
+    "decomposition_for",
+    "divisors",
+    "legal_rectangles",
+    "partition_side",
+    "processors_for_area",
+    "read_volume",
+    "strip_heights",
+    "transfer_volume",
+    "working_rectangles",
+    "write_volume",
+]

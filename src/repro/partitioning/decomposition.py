@@ -1,0 +1,166 @@
+"""Full-grid decompositions: partition covers plus neighbour structure.
+
+A :class:`Decomposition` is what the solver and simulator substrates
+consume: the list of partitions (one per processor), the stencil-induced
+neighbour graph, and per-edge halo volumes.  The analytic model in
+:mod:`repro.core` never needs this level of detail — it works from areas
+and perimeters — which is exactly the paper's abstraction boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecompositionError
+from repro.partitioning.partition import Partition
+from repro.partitioning.strips import decompose_strips, strip_heights
+from repro.stencils.stencil import Stencil
+
+__all__ = [
+    "Decomposition",
+    "HaloEdge",
+    "block_grid_shape",
+    "decompose_blocks",
+    "decomposition_for",
+]
+
+
+@dataclass(frozen=True)
+class HaloEdge:
+    """Directed halo dependency: ``dst`` reads ``volume`` points owned by ``src``."""
+
+    src: int
+    dst: int
+    volume: int
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A disjoint cover of the ``n × n`` grid by rectangular partitions."""
+
+    n: int
+    partitions: tuple[Partition, ...]
+    kind: str  # "strip" | "block"
+
+    def __post_init__(self) -> None:
+        total = sum(p.area for p in self.partitions)
+        if total != self.n * self.n:
+            raise DecompositionError(
+                f"partitions cover {total} points, grid has {self.n * self.n}"
+            )
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.partitions)
+
+    def max_area(self) -> int:
+        """Grid points on the most loaded processor (sets t_comp)."""
+        return max(p.area for p in self.partitions)
+
+    def load_imbalance(self) -> float:
+        """max area / mean area; 1.0 means perfectly balanced."""
+        mean = self.n * self.n / self.n_processors
+        return self.max_area() / mean
+
+    # ----------------------------------------------------------- neighbours
+
+    def halo_edges(self, stencil: Stencil) -> list[HaloEdge]:
+        """All directed halo dependencies induced by ``stencil``.
+
+        ``dst`` needs, for each of its points within reach of the shared
+        boundary, the points of ``src`` that the stencil offsets land on.
+        Volumes are exact point counts (including corner points for
+        stencils with diagonal offsets), computed by intersecting the
+        shifted destination box with the source box for each offset and
+        de-duplicating points needed via multiple offsets.
+        """
+        edges: list[HaloEdge] = []
+        offsets = stencil.halo_offsets()
+        for di_dst, dst in enumerate(self.partitions):
+            for di_src, src in enumerate(self.partitions):
+                if di_src == di_dst:
+                    continue
+                needed: set[tuple[int, int]] = set()
+                for (oi, oj) in offsets:
+                    # Destination points (i, j) read (i+oi, j+oj); collect
+                    # source-owned points hit by this offset.
+                    r0 = max(dst.row_start + oi, src.row_start)
+                    r1 = min(dst.row_stop + oi, src.row_stop)
+                    c0 = max(dst.col_start + oj, src.col_start)
+                    c1 = min(dst.col_stop + oj, src.col_stop)
+                    if r0 < r1 and c0 < c1:
+                        for i in range(r0, r1):
+                            # Row-interval insertion: columns form one run.
+                            needed.update((i, j) for j in range(c0, c1))
+                if needed:
+                    edges.append(HaloEdge(src=di_src, dst=di_dst, volume=len(needed)))
+        return edges
+
+    def neighbour_map(self, stencil: Stencil) -> dict[int, list[int]]:
+        """Adjacency list of the halo graph (dst -> sorted srcs)."""
+        nbrs: dict[int, set[int]] = {i: set() for i in range(self.n_processors)}
+        for e in self.halo_edges(stencil):
+            nbrs[e.dst].add(e.src)
+        return {i: sorted(s) for i, s in nbrs.items()}
+
+    def communication_volume(self, stencil: Stencil, processor: int) -> int:
+        """Points processor ``processor`` must *read* per iteration."""
+        return sum(e.volume for e in self.halo_edges(stencil) if e.dst == processor)
+
+    def total_communication_volume(self, stencil: Stencil) -> int:
+        """Grid-wide read volume per iteration (the bus's offered load)."""
+        return sum(e.volume for e in self.halo_edges(stencil))
+
+
+def block_grid_shape(processors: int, n: int) -> tuple[int, int]:
+    """Factor ``processors`` into the most square ``p_rows × p_cols`` grid.
+
+    Chooses the divisor pair minimizing ``|p_rows - p_cols|`` subject to
+    both dimensions fitting the grid (at most ``n`` cuts each way).
+    """
+    if processors <= 0:
+        raise DecompositionError("processors must be positive")
+    best: tuple[int, int] | None = None
+    d = 1
+    while d * d <= processors:
+        if processors % d == 0:
+            pr, pc = d, processors // d
+            if pr <= n and pc <= n:
+                best = (pr, pc)  # d grows, so the last fit is squarest
+        d += 1
+    if best is None:
+        raise DecompositionError(
+            f"cannot arrange {processors} processors on a {n}x{n} grid"
+        )
+    return best
+
+
+def decompose_blocks(n: int, processors: int) -> list[Partition]:
+    """Near-square block decomposition (Figure 5).
+
+    Rows and columns are each cut with the strip remainder rule, giving
+    blocks within one row/column of each other in each dimension.
+    """
+    p_rows, p_cols = block_grid_shape(processors, n)
+    heights = strip_heights(n, p_rows)
+    widths = strip_heights(n, p_cols)
+    parts: list[Partition] = []
+    r = 0
+    for h in heights:
+        c = 0
+        for w in widths:
+            parts.append(Partition(r, r + h, c, c + w))
+            c += w
+        r += h
+    return parts
+
+
+def decomposition_for(n: int, processors: int, kind: str) -> Decomposition:
+    """Build a named decomposition: ``"strip"`` or ``"block"``."""
+    if kind == "strip":
+        parts = decompose_strips(n, processors)
+    elif kind == "block":
+        parts = decompose_blocks(n, processors)
+    else:
+        raise DecompositionError(f"unknown decomposition kind {kind!r}")
+    return Decomposition(n=n, partitions=tuple(parts), kind=kind)

@@ -1,0 +1,74 @@
+"""Continuous partition-geometry formulas used by the analytic model.
+
+These are the paper's idealized counts: a strip of area ``A`` on an
+``n × n`` grid communicates ``2·n·k`` points per direction pair, a
+square of area ``A`` communicates ``4·sqrt(A)·k``.  The discrete
+counterparts (exact counts on real decompositions) live in
+:mod:`repro.partitioning.decomposition`; tests verify the continuous
+formulas agree with the exact ones to within corner effects.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = [
+    "partition_side",
+    "read_volume",
+    "write_volume",
+    "transfer_volume",
+    "processors_for_area",
+    "area_for_processors",
+]
+
+
+def partition_side(area: float) -> float:
+    """Side length ``s`` of an idealized square partition of ``area`` points."""
+    if area <= 0:
+        raise InvalidParameterError("area must be positive")
+    return math.sqrt(area)
+
+
+def read_volume(kind: PartitionKind, area: float, n: int, k: int) -> float:
+    """Boundary points a partition *reads* per iteration.
+
+    Strips read ``k`` full rows from each of two neighbours (``2·n·k``);
+    squares read ``k`` perimeters of ``4·sqrt(A)`` points.
+    """
+    if area <= 0 or n <= 0 or k <= 0:
+        raise InvalidParameterError("area, n, k must be positive")
+    if kind is PartitionKind.STRIP:
+        return 2.0 * n * k
+    return 4.0 * math.sqrt(area) * k
+
+
+def write_volume(kind: PartitionKind, area: float, n: int, k: int) -> float:
+    """Boundary points a partition *writes* per iteration.
+
+    The paper assumes write volume equals read volume (footnote 4: exact
+    for star stencils, a slight undercount of corner points for
+    stencils with diagonals).
+    """
+    return read_volume(kind, area, n, k)
+
+
+def transfer_volume(kind: PartitionKind, area: float, n: int, k: int) -> float:
+    """Total words moved per partition per iteration (reads + writes)."""
+    return read_volume(kind, area, n, k) + write_volume(kind, area, n, k)
+
+
+def processors_for_area(n: int, area: float) -> float:
+    """``P = n² / A`` — the paper's continuous processor count."""
+    if area <= 0:
+        raise InvalidParameterError("area must be positive")
+    return n * n / area
+
+
+def area_for_processors(n: int, processors: float) -> float:
+    """``A = n² / P`` — points per partition at a given machine size."""
+    if processors <= 0:
+        raise InvalidParameterError("processors must be positive")
+    return n * n / processors

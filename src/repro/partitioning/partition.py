@@ -1,0 +1,127 @@
+"""Rectangular partitions of the discretized domain.
+
+A partition is a half-open box of grid points ``rows [r0, r1) ×
+cols [c0, c1)`` on an ``n × n`` grid, assigned to one processor.  The
+performance model only needs its area and perimeter; the solver and
+simulator substrates also use the exact index box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecompositionError
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True, order=True)
+class Partition:
+    """One processor's box of grid points (half-open index ranges)."""
+
+    row_start: int
+    row_stop: int
+    col_start: int
+    col_stop: int
+
+    def __post_init__(self) -> None:
+        if self.row_start < 0 or self.col_start < 0:
+            raise DecompositionError(f"negative partition origin: {self}")
+        if self.row_stop <= self.row_start or self.col_stop <= self.col_start:
+            raise DecompositionError(f"empty partition: {self}")
+
+    # ------------------------------------------------------------- geometry
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_stop - self.row_start
+
+    @property
+    def n_cols(self) -> int:
+        return self.col_stop - self.col_start
+
+    @property
+    def area(self) -> int:
+        """Number of grid points owned."""
+        return self.n_rows * self.n_cols
+
+    @property
+    def perimeter(self) -> int:
+        """Geometric perimeter ``2·(rows + cols)`` used by Figure 6.
+
+        This is the paper's perimeter measure for comparing a rectangle
+        against the ideal square (``4·sqrt(A)``).
+        """
+        return 2 * (self.n_rows + self.n_cols)
+
+    @property
+    def aspect_ratio(self) -> float:
+        """max(rows, cols) / min(rows, cols); 1.0 for exact squares."""
+        lo = min(self.n_rows, self.n_cols)
+        hi = max(self.n_rows, self.n_cols)
+        return hi / lo
+
+    def is_square(self) -> bool:
+        return self.n_rows == self.n_cols
+
+    # ----------------------------------------------------------- relations
+
+    def overlaps(self, other: "Partition") -> bool:
+        return not (
+            self.row_stop <= other.row_start
+            or other.row_stop <= self.row_start
+            or self.col_stop <= other.col_start
+            or other.col_stop <= self.col_start
+        )
+
+    def touches(self, other: "Partition") -> bool:
+        """True when the boxes share an edge segment (4-adjacency).
+
+        Corner-only contact does not count; diagonal neighbours are
+        derived separately where a stencil requires them.
+        """
+        share_rows = (
+            self.row_start < other.row_stop and other.row_start < self.row_stop
+        )
+        share_cols = (
+            self.col_start < other.col_stop and other.col_start < self.col_stop
+        )
+        vert = share_cols and (
+            self.row_stop == other.row_start or other.row_stop == self.row_start
+        )
+        horiz = share_rows and (
+            self.col_stop == other.col_start or other.col_stop == self.col_start
+        )
+        return vert or horiz
+
+    def corner_adjacent(self, other: "Partition") -> bool:
+        """True when the boxes meet only at a corner point."""
+        meets_v = self.row_stop == other.row_start or other.row_stop == self.row_start
+        meets_h = self.col_stop == other.col_start or other.col_stop == self.col_start
+        corner_v = self.col_stop == other.col_start or other.col_stop == self.col_start
+        return meets_v and corner_v and not self.touches(other) and meets_h
+
+    def contains_point(self, i: int, j: int) -> bool:
+        return (
+            self.row_start <= i < self.row_stop
+            and self.col_start <= j < self.col_stop
+        )
+
+    def boundary_point_count(self, depth: int = 1) -> int:
+        """Exact count of points within ``depth`` of the partition edge.
+
+        This is the discrete counterpart of the paper's ``k`` perimeters
+        (from the inside); used by the simulator to schedule boundary
+        updates first on asynchronous buses.
+        """
+        if depth <= 0:
+            raise DecompositionError("depth must be positive")
+        inner_rows = max(0, self.n_rows - 2 * depth)
+        inner_cols = max(0, self.n_cols - 2 * depth)
+        return self.area - inner_rows * inner_cols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Partition(rows {self.row_start}:{self.row_stop}, "
+            f"cols {self.col_start}:{self.col_stop}, area {self.area})"
+        )

@@ -1,0 +1,174 @@
+"""Legal and working rectangles — the Figure 5/6 machinery.
+
+The paper approximates square partitions with "nearly square"
+rectangles that tile the grid cleanly:
+
+1. the domain is first cut into strips of ``h`` contiguous rows
+   (any ``h`` from the remainder rule is allowed, so ``h ∈ [1, n]``);
+2. a border is drawn every ``m``-th column, with ``m`` required to
+   divide ``n`` evenly.
+
+A ``h × m`` rectangle produced this way is *legal*.  For each
+achievable area ``A = h·m`` the legal rectangle minimizing perimeter is
+kept iff its perimeter is within 5% of ``4·sqrt(A)`` (a square's
+perimeter); survivors are *working rectangles*.  Figure 6 plots, for
+every target area, the relative area and perimeter error of the closest
+working rectangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import DecompositionError, NoWorkingRectangleError
+
+__all__ = [
+    "LegalRectangle",
+    "divisors",
+    "legal_rectangles",
+    "working_rectangles",
+    "closest_working_rectangle",
+    "approximation_errors",
+    "ApproximationError",
+    "DEFAULT_PERIMETER_TOLERANCE",
+]
+
+#: The paper's 5% squareness filter.
+DEFAULT_PERIMETER_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True, order=True)
+class LegalRectangle:
+    """A ``height × width`` tile with width dividing the grid size."""
+
+    height: int
+    width: int
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    @property
+    def perimeter(self) -> int:
+        return 2 * (self.height + self.width)
+
+    def perimeter_excess(self) -> float:
+        """Relative excess over the ideal square perimeter ``4·sqrt(A)``.
+
+        Zero for exact squares, positive otherwise (a rectangle never
+        beats the square of equal area).
+        """
+        ideal = 4.0 * self.area**0.5
+        return (self.perimeter - ideal) / ideal
+
+
+def divisors(n: int) -> list[int]:
+    """All positive divisors of ``n`` in increasing order."""
+    if n <= 0:
+        raise DecompositionError(f"n must be positive, got {n}")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+@lru_cache(maxsize=64)
+def legal_rectangles(n: int) -> tuple[LegalRectangle, ...]:
+    """Every legal rectangle for an ``n × n`` grid.
+
+    Heights range over ``[1, n]`` (strip rule), widths over divisors of
+    ``n``.  The result is cached: Figure 6 sweeps thousands of target
+    areas against the same grid.
+    """
+    widths = divisors(n)
+    rects = [
+        LegalRectangle(height=h, width=m) for h in range(1, n + 1) for m in widths
+    ]
+    return tuple(rects)
+
+
+@lru_cache(maxsize=64)
+def working_rectangles(
+    n: int, tolerance: float = DEFAULT_PERIMETER_TOLERANCE
+) -> tuple[LegalRectangle, ...]:
+    """The paper's working set: per area, the squarest legal rectangle,
+    kept only if within ``tolerance`` of the ideal square perimeter.
+
+    Sorted by area; each area appears at most once.
+    """
+    if not 0 < tolerance < 1:
+        raise DecompositionError("tolerance must be in (0, 1)")
+    best_by_area: dict[int, LegalRectangle] = {}
+    for rect in legal_rectangles(n):
+        cur = best_by_area.get(rect.area)
+        if cur is None or rect.perimeter < cur.perimeter:
+            best_by_area[rect.area] = rect
+    survivors = [
+        rect
+        for rect in best_by_area.values()
+        if rect.perimeter_excess() <= tolerance
+    ]
+    survivors.sort(key=lambda r: r.area)
+    return tuple(survivors)
+
+
+def closest_working_rectangle(
+    n: int, target_area: float, tolerance: float = DEFAULT_PERIMETER_TOLERANCE
+) -> LegalRectangle:
+    """Working rectangle whose area is closest to ``target_area``.
+
+    Ties prefer the smaller area (fewer points per processor = more
+    parallelism).  Raises :class:`NoWorkingRectangleError` when the grid
+    admits no working rectangle at all (cannot happen for n ≥ 2 since
+    exact squares with width dividing n always survive).
+    """
+    candidates = working_rectangles(n, tolerance)
+    if not candidates:
+        raise NoWorkingRectangleError(
+            f"grid {n}x{n} has no working rectangle under tolerance {tolerance}"
+        )
+    return min(candidates, key=lambda r: (abs(r.area - target_area), r.area))
+
+
+@dataclass(frozen=True)
+class ApproximationError:
+    """Relative errors of the closest working rectangle (Figure 6)."""
+
+    target_area: int
+    rectangle: LegalRectangle
+    area_error: float
+    perimeter_error: float
+
+
+def approximation_errors(
+    n: int,
+    areas,
+    tolerance: float = DEFAULT_PERIMETER_TOLERANCE,
+) -> list[ApproximationError]:
+    """Figure 6 series: for each target area the relative magnitude error
+    in area (6a) and perimeter (6b) of the chosen working rectangle.
+
+    The perimeter error compares against the ideal square perimeter for
+    the *target* area, matching the paper's "relative approximation
+    error in perimeter".
+    """
+    out: list[ApproximationError] = []
+    for area in areas:
+        area = int(area)
+        rect = closest_working_rectangle(n, area, tolerance)
+        ideal_perimeter = 4.0 * area**0.5
+        out.append(
+            ApproximationError(
+                target_area=area,
+                rectangle=rect,
+                area_error=abs(rect.area - area) / area,
+                perimeter_error=abs(rect.perimeter - ideal_perimeter) / ideal_perimeter,
+            )
+        )
+    return out

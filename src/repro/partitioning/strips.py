@@ -1,0 +1,50 @@
+"""Strip decomposition with the paper's remainder rule (Section 3).
+
+"It is easy to decompose the domain into strips for P processors: if
+``n = k·P + r`` with ``0 ≤ r < P`` then ``r`` processors receive
+``⌊n/P⌋ + 1`` contiguous rows, and the remaining processors each
+receive ``⌊n/P⌋`` contiguous rows."  The number of communicating
+boundaries is the same as if all partitions had equal work (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecompositionError
+from repro.partitioning.partition import Partition
+
+__all__ = ["strip_heights", "decompose_strips"]
+
+
+def strip_heights(n: int, processors: int) -> list[int]:
+    """Row counts per strip under the remainder rule.
+
+    The first ``r = n mod P`` strips get one extra row; heights are
+    therefore within one row of each other and sum exactly to ``n``.
+    """
+    if n <= 0:
+        raise DecompositionError(f"grid size must be positive, got {n}")
+    if processors <= 0:
+        raise DecompositionError(f"processor count must be positive, got {processors}")
+    if processors > n:
+        raise DecompositionError(
+            f"cannot cut {n} rows into {processors} non-empty strips"
+        )
+    base, extra = divmod(n, processors)
+    return [base + 1] * extra + [base] * (processors - extra)
+
+
+def decompose_strips(n: int, processors: int) -> list[Partition]:
+    """Cut the ``n × n`` grid into ``processors`` horizontal strips.
+
+    Strips are ordered top to bottom; strip ``i`` neighbours strips
+    ``i ± 1`` only, so the neighbour structure is a path regardless of
+    the remainder.
+    """
+    heights = strip_heights(n, processors)
+    partitions: list[Partition] = []
+    row = 0
+    for h in heights:
+        partitions.append(Partition(row, row + h, 0, n))
+        row += h
+    assert row == n, "strip heights must tile the grid exactly"
+    return partitions

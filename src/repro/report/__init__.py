@@ -1,0 +1,15 @@
+"""Text tables, ASCII plots, and CSV artifacts for experiments."""
+
+from repro.report.ascii_plot import bar_chart, line_plot, multi_line_plot
+from repro.report.csvio import default_results_dir, write_csv
+from repro.report.tables import format_kv_block, format_table
+
+__all__ = [
+    "bar_chart",
+    "default_results_dir",
+    "format_kv_block",
+    "format_table",
+    "line_plot",
+    "multi_line_plot",
+    "write_csv",
+]

@@ -1,0 +1,102 @@
+"""ASCII line and bar charts — the repo's figure backend.
+
+No plotting library is assumed (the reproduction environment is
+offline); every figure in the paper is regenerated as a CSV series plus
+an ASCII rendering good enough to read off shape, crossovers and
+slopes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["line_plot", "bar_chart", "multi_line_plot"]
+
+
+def _scale(values: Sequence[float], length: int) -> list[int]:
+    lo, hi = min(values), max(values)
+    if math.isclose(lo, hi):
+        return [length // 2 for _ in values]
+    return [round((v - lo) / (hi - lo) * (length - 1)) for v in values]
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    marker: str = "*",
+) -> str:
+    """Scatter/line rendering of one series on a character canvas."""
+    return multi_line_plot(xs, {"": ys}, width, height, title, markers=marker)
+
+
+def multi_line_plot(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    markers: str = "*+ox#@",
+) -> str:
+    """Several series over a shared x-axis, one marker character each."""
+    if not xs or not series:
+        raise ValueError("need at least one point and one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length {len(ys)} != x length {len(xs)}")
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    cols = _scale(list(xs), width)
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        if math.isclose(y_lo, y_hi):
+            rows = [height // 2 for _ in ys]
+        else:
+            rows = [
+                height - 1 - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+                for y in ys
+            ]
+        for r, c in zip(rows, cols):
+            canvas[r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_lo:.4g}, {y_hi:.4g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{min(xs):.4g}, {max(xs):.4g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(series)
+        if name
+    )
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart (Figure 6's error bars render this way)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("need at least one bar")
+    v_max = max(values)
+    label_strs = [str(l) for l in labels]
+    label_w = max(len(s) for s in label_strs)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(label_strs, values):
+        bar_len = 0 if v_max == 0 else round(value / v_max * width)
+        lines.append(f"{label.rjust(label_w)} | {'#' * bar_len} {value:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""CSV output for experiment artifacts.
+
+Every experiment writes its series as CSV next to the textual report so
+downstream tooling (or an actual plotting environment) can regenerate
+the paper's figures pixel-for-pixel.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["write_csv", "default_results_dir"]
+
+
+def default_results_dir() -> Path:
+    """``results/`` under the repository root (created on demand)."""
+    root = Path(__file__).resolve().parents[3]
+    out = root / "results"
+    out.mkdir(exist_ok=True)
+    return out
+
+
+def write_csv(
+    path: Path | str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows to ``path``; returns the resolved path.
+
+    Parent directories are created; cells are written as-is (csv module
+    handles quoting), so pass floats/ints, not pre-formatted strings,
+    to keep full precision in the artifact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        count = 0
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row {count} has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(row)
+            count += 1
+    return path.resolve()

@@ -1,0 +1,26 @@
+"""Discrete-event simulation of the machine models."""
+
+from repro.sim.events import EventQueue, Resource, ResourceGrant
+from repro.sim.iteration import SimulationResult, halo_volumes, simulate_iteration
+from repro.sim.solve_sim import SolveTimeline, simulate_solve
+from repro.sim.validate import (
+    ValidationPoint,
+    ValidationSweep,
+    validate_machine,
+    validation_summary,
+)
+
+__all__ = [
+    "EventQueue",
+    "Resource",
+    "ResourceGrant",
+    "SimulationResult",
+    "SolveTimeline",
+    "ValidationPoint",
+    "ValidationSweep",
+    "halo_volumes",
+    "simulate_iteration",
+    "simulate_solve",
+    "validate_machine",
+    "validation_summary",
+]

@@ -1,0 +1,40 @@
+"""Network models for the discrete-event simulator."""
+
+from repro.sim.network.banyan_sim import network_stages, read_phase_time
+from repro.sim.network.butterfly import (
+    ButterflyNetwork,
+    bit_reversal_permutation,
+    cyclic_shift_permutation,
+    random_permutation,
+)
+from repro.sim.network.bus_sim import (
+    BlockRequest,
+    WordStream,
+    async_write_drain,
+    sync_bus_phase,
+    sync_bus_phase_word_level,
+)
+from repro.sim.network.link_sim import (
+    MessageSpec,
+    message_time,
+    neighbour_exchange_time,
+    phase_durations,
+)
+
+__all__ = [
+    "BlockRequest",
+    "ButterflyNetwork",
+    "bit_reversal_permutation",
+    "MessageSpec",
+    "WordStream",
+    "async_write_drain",
+    "message_time",
+    "neighbour_exchange_time",
+    "network_stages",
+    "phase_durations",
+    "read_phase_time",
+    "cyclic_shift_permutation",
+    "random_permutation",
+    "sync_bus_phase",
+    "sync_bus_phase_word_level",
+]

@@ -1,0 +1,46 @@
+"""Banyan switching-network model with discrete stages.
+
+Under the paper's placement assumptions (one memory module per
+processor, boundary sets placed so concurrent reads never collide at a
+2×2 switch) a read is a pipeline-free double traversal of the network:
+``2 · w · stages`` per word, with ``stages = ceil(log2(N))`` for a real
+network of ``N`` ports (the analytic model uses the continuous
+``log2(N)``; the gap is one of the things the validation experiment
+quantifies).  Writes happen asynchronously during compute and are
+assumed contention-free (assumption 4), so they never extend the cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+__all__ = ["network_stages", "read_phase_time"]
+
+
+def network_stages(n_ports: int) -> int:
+    """Physical 2×2-switch stages for ``n_ports`` endpoints.
+
+    ``ceil(log2 N)`` — a real banyan rounds the port count up to the
+    next power of two.  A single-port "network" has no stages.
+    """
+    if n_ports < 1:
+        raise SimulationError("network needs at least one port")
+    if n_ports == 1:
+        return 0
+    return math.ceil(math.log2(n_ports))
+
+
+def read_phase_time(words_per_rank: list[int], w: float, n_ports: int) -> float:
+    """Barrier read phase: slowest rank's serial word reads through the net.
+
+    Each word costs ``2·w·stages`` (request trip + data trip); ranks
+    read concurrently without colliding, so the phase is the max, not
+    the sum, across ranks.
+    """
+    if w <= 0:
+        raise SimulationError("switch time must be positive")
+    stages = network_stages(n_ports)
+    per_word = 2.0 * w * stages
+    return max((words * per_word for words in words_per_rank), default=0.0)

@@ -1,0 +1,132 @@
+"""An actual butterfly (banyan) topology with routing and congestion.
+
+Section 7 *assumes* boundary values can be placed in memory modules
+"in such a way that no contention at switches is ever incurred by any
+boundary value read" (assumption 3).  This module builds the network
+the assumption is about: ``N = 2^d`` inputs, ``d`` stages of 2×2
+switches, destination-bit routing, and exact per-edge congestion for
+any processor→module access pattern.
+
+The classical facts the tests verify:
+
+* the identity pattern (module ``i`` local to processor ``i`` — the
+  paper's placement) routes with congestion 1: the assumption is
+  *achievable*;
+* cyclic shifts also route conflict-free (butterflies realize them);
+* the bit-reversal permutation suffers Θ(√N) congestion — the
+  assumption is *fragile* under bad placement;
+* random permutations land in between (Θ(log N/log log N) expected).
+
+Effective read time under congestion ``C`` is modelled as ``C`` serial
+traversals of the hot switch: ``t_read = C · 2 · w · d`` per word — the
+multiplier the E-ABL-PLACEMENT ablation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import is_power_of_two, log2_int
+
+__all__ = [
+    "ButterflyNetwork",
+    "bit_reversal_permutation",
+    "cyclic_shift_permutation",
+    "random_permutation",
+]
+
+
+def bit_reversal_permutation(n_ports: int) -> list[int]:
+    """``i -> reverse of i's d-bit representation`` — the worst case."""
+    d = log2_int(n_ports)
+    out = []
+    for i in range(n_ports):
+        rev = 0
+        for bit in range(d):
+            if i & (1 << bit):
+                rev |= 1 << (d - 1 - bit)
+        out.append(rev)
+    return out
+
+
+def cyclic_shift_permutation(n_ports: int, shift: int = 1) -> list[int]:
+    """``i -> (i + shift) mod N`` — conflict-free on a butterfly."""
+    return [(i + shift) % n_ports for i in range(n_ports)]
+
+
+def random_permutation(n_ports: int, seed: int = 0) -> list[int]:
+    """A seeded random permutation (deterministic for tests)."""
+    rng = np.random.default_rng(seed)
+    return [int(x) for x in rng.permutation(n_ports)]
+
+
+@dataclass(frozen=True)
+class ButterflyNetwork:
+    """A ``d``-stage butterfly over ``N = 2^d`` ports."""
+
+    n_ports: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.n_ports):
+            raise SimulationError(
+                f"butterfly needs a power-of-two port count, got {self.n_ports}"
+            )
+
+    @property
+    def stages(self) -> int:
+        return log2_int(self.n_ports)
+
+    # --------------------------------------------------------------- routing
+
+    def route(self, src: int, dst: int) -> list[tuple[int, int, int]]:
+        """Directed edges ``(stage, from_row, to_row)`` of the unique path.
+
+        Destination-bit routing: after stage ``s`` the row agrees with
+        ``dst`` on its top ``s+1`` bits (bits are consumed MSB-first).
+        """
+        if not (0 <= src < self.n_ports and 0 <= dst < self.n_ports):
+            raise SimulationError(
+                f"ports must be in [0, {self.n_ports}); got {src}->{dst}"
+            )
+        d = self.stages
+        edges = []
+        row = src
+        for s in range(d):
+            bit = 1 << (d - 1 - s)
+            next_row = (row & ~bit) | (dst & bit)
+            edges.append((s, row, next_row))
+            row = next_row
+        assert row == dst, "destination-bit routing must terminate at dst"
+        return edges
+
+    def edge_loads(self, pattern: Sequence[int]) -> dict[tuple[int, int, int], int]:
+        """Usage count of every directed stage-edge for one request each."""
+        if len(pattern) != self.n_ports:
+            raise SimulationError(
+                f"pattern has {len(pattern)} entries for {self.n_ports} ports"
+            )
+        loads: dict[tuple[int, int, int], int] = {}
+        for src, dst in enumerate(pattern):
+            for edge in self.route(src, dst):
+                loads[edge] = loads.get(edge, 0) + 1
+        return loads
+
+    def congestion(self, pattern: Sequence[int]) -> int:
+        """Maximum load over all stage-edges (1 = conflict-free)."""
+        loads = self.edge_loads(pattern)
+        return max(loads.values(), default=0)
+
+    def read_word_time(self, w: float, pattern: Sequence[int]) -> float:
+        """Per-word read time under this placement: ``C · 2 · w · d``.
+
+        ``C = 1`` recovers the paper's contention-free ``2·w·log2(N)``.
+        """
+        if w <= 0:
+            raise SimulationError("switch time must be positive")
+        if self.stages == 0:
+            return 0.0
+        return self.congestion(pattern) * 2.0 * w * self.stages

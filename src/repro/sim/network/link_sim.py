@@ -1,0 +1,60 @@
+"""Nearest-neighbour message phases for hypercube and mesh machines.
+
+Halo exchange on a contention-free neighbour network proceeds in
+*direction phases*: all ranks exchange with their north neighbour, then
+south, etc.  Single-port half-duplex hardware (the paper's footnote 2)
+splits every exchange into a send event and a receive event, giving
+8 phases for blocks and 4 for strips.  Each phase is a barrier: it ends
+when the slowest transfer of that phase completes, which is how
+heterogeneous partitions (remainder rows/columns) show up in the
+simulated cycle while the continuous model averages them away.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["MessageSpec", "phase_durations", "neighbour_exchange_time"]
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """One rank's transfer in one phase: volume in words (0 = idle)."""
+
+    rank: int
+    words: int
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            raise SimulationError("message volume must be non-negative")
+
+
+def message_time(words: int, alpha: float, beta: float, packet_words: int) -> float:
+    """``ceil(V/packet)·alpha + beta`` for one message; 0 for idle ranks."""
+    if words == 0:
+        return 0.0
+    packets = math.ceil(words / packet_words)
+    return packets * alpha + beta
+
+
+def phase_durations(
+    phases: list[list[MessageSpec]], alpha: float, beta: float, packet_words: int
+) -> list[float]:
+    """Duration of each barrier phase: the slowest participant wins."""
+    durations = []
+    for phase in phases:
+        slowest = 0.0
+        for spec in phase:
+            slowest = max(slowest, message_time(spec.words, alpha, beta, packet_words))
+        durations.append(slowest)
+    return durations
+
+
+def neighbour_exchange_time(
+    phases: list[list[MessageSpec]], alpha: float, beta: float, packet_words: int
+) -> float:
+    """Total halo-exchange time: the sum of barrier-phase durations."""
+    return sum(phase_durations(phases, alpha, beta, packet_words))

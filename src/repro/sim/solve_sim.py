@@ -1,0 +1,96 @@
+"""Full-solve timelines: iterations plus scheduled convergence checks.
+
+Bridges the two halves of the repo: the *solver* substrate supplies the
+real iteration count for a tolerance, the *machine* simulator supplies
+per-iteration timings, and the convergence-cost model (Section 4 /
+Saltz–Naik–Nicol) adds the check computation and dissemination on the
+chosen schedule.  The result is a wall-clock estimate for the entire
+solve, per machine, with the check overhead isolated — the quantity a
+practitioner actually plans against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.partitioning.decomposition import Decomposition
+from repro.sim.iteration import simulate_iteration
+from repro.solver.convergence import (
+    CheckSchedule,
+    convergence_check_flops,
+    dissemination_time,
+)
+from repro.stencils.stencil import Stencil
+
+__all__ = ["SolveTimeline", "simulate_solve"]
+
+
+@dataclass(frozen=True)
+class SolveTimeline:
+    """Wall-clock breakdown of a simulated solve."""
+
+    iterations: int
+    checks_performed: int
+    iteration_time: float
+    check_compute_time: float
+    dissemination_time_total: float
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.iteration_time
+            + self.check_compute_time
+            + self.dissemination_time_total
+        )
+
+    @property
+    def check_overhead_fraction(self) -> float:
+        """Share of the solve spent on convergence checking."""
+        total = self.total_time
+        return (
+            (self.check_compute_time + self.dissemination_time_total) / total
+            if total > 0
+            else 0.0
+        )
+
+
+def simulate_solve(
+    machine: Architecture,
+    decomposition: Decomposition,
+    stencil: Stencil,
+    t_flop: float,
+    iterations: int,
+    schedule: CheckSchedule = CheckSchedule(1),
+    mode: str = "barrier",
+) -> SolveTimeline:
+    """Simulate ``iterations`` sweeps with scheduled convergence checks.
+
+    Sweeps share one simulated per-iteration cycle (the workload is
+    identical every iteration in Jacobi); each *checked* iteration adds
+    the per-partition check flops (on the most loaded rank — checks
+    synchronize) and one dissemination round.
+    """
+    if iterations < 1:
+        raise InvalidParameterError("a solve needs at least one iteration")
+    one_iteration = simulate_iteration(
+        machine, decomposition, stencil, t_flop, mode=mode
+    )
+    workload = Workload(n=decomposition.n, stencil=stencil, t_flop=t_flop)
+    checks = sum(
+        1 for i in range(1, iterations + 1) if schedule.should_check(i)
+    )
+    max_area = float(decomposition.max_area())
+    check_compute = checks * convergence_check_flops(workload, max_area) * t_flop
+    dissemination = checks * dissemination_time(
+        machine, float(decomposition.n_processors)
+    )
+    return SolveTimeline(
+        iterations=iterations,
+        checks_performed=checks,
+        iteration_time=iterations * one_iteration.cycle_time,
+        check_compute_time=check_compute,
+        dissemination_time_total=dissemination,
+    )

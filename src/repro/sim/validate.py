@@ -1,0 +1,109 @@
+"""Model-vs-simulation validation sweeps.
+
+The paper closes with "Future effort will be devoted to verifying our
+analysis empirically"; this module is that effort, in simulation.  For
+a machine and problem it sweeps processor counts, computes the analytic
+cycle time (continuous areas, idealized volumes) and the simulated one
+(exact decomposition, event-level contention), and reports both plus
+summary discrepancy statistics.
+
+What "agreement" should mean is part of the result: the analytic model
+idealizes corners, remainders, and phase overlap, so pointwise times
+match only to within those effects — but the *shape* (which processor
+count is best, how cost grows with P) must match for the paper's
+conclusions to stand.  :func:`validation_summary` therefore reports
+both relative errors and the optimal-P ranking agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import Workload
+from repro.machines.base import Architecture
+from repro.partitioning.decomposition import decomposition_for
+from repro.sim.iteration import simulate_iteration
+from repro.stencils.perimeter import PartitionKind
+from repro.stencils.stencil import Stencil
+
+__all__ = ["ValidationPoint", "ValidationSweep", "validate_machine", "validation_summary"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One processor count's analytic and simulated cycle times."""
+
+    processors: int
+    analytic: float
+    simulated: float
+
+    @property
+    def relative_error(self) -> float:
+        """(simulated − analytic) / analytic; negative = model pessimistic."""
+        return (self.simulated - self.analytic) / self.analytic
+
+
+@dataclass(frozen=True)
+class ValidationSweep:
+    """A full sweep over processor counts for one machine/problem pair."""
+
+    machine_name: str
+    kind: PartitionKind
+    n: int
+    points: tuple[ValidationPoint, ...]
+
+    def max_abs_relative_error(self) -> float:
+        return max(abs(p.relative_error) for p in self.points)
+
+    def best_processors_analytic(self) -> int:
+        return min(self.points, key=lambda p: p.analytic).processors
+
+    def best_processors_simulated(self) -> int:
+        return min(self.points, key=lambda p: p.simulated).processors
+
+
+def validate_machine(
+    machine: Architecture,
+    stencil: Stencil,
+    n: int,
+    processor_counts: list[int],
+    kind: PartitionKind = PartitionKind.SQUARE,
+    t_flop: float = 1e-6,
+    mode: str = "barrier",
+) -> ValidationSweep:
+    """Sweep processor counts, comparing model and simulation.
+
+    The decomposition kind follows the partition kind: strips decompose
+    as strips, squares as near-square blocks (the paper's working
+    rectangles).  ``P = 1`` maps to the serial time on both sides.
+    """
+    workload = Workload(n=n, stencil=stencil, t_flop=t_flop)
+    dec_kind = "strip" if kind is PartitionKind.STRIP else "block"
+    points: list[ValidationPoint] = []
+    for p in processor_counts:
+        analytic = machine.cycle_time_all_processors(workload, kind, p)
+        decomposition = decomposition_for(n, p, dec_kind)
+        sim = simulate_iteration(machine, decomposition, stencil, t_flop, mode=mode)
+        points.append(
+            ValidationPoint(processors=p, analytic=analytic, simulated=sim.cycle_time)
+        )
+    return ValidationSweep(
+        machine_name=machine.name, kind=kind, n=n, points=tuple(points)
+    )
+
+
+def validation_summary(sweep: ValidationSweep) -> dict[str, float | int | bool]:
+    """Headline numbers for a sweep: error stats and ranking agreement."""
+    errors = np.array([p.relative_error for p in sweep.points])
+    return {
+        "n": sweep.n,
+        "points": len(sweep.points),
+        "mean_relative_error": float(np.mean(errors)),
+        "max_abs_relative_error": float(np.max(np.abs(errors))),
+        "best_p_analytic": sweep.best_processors_analytic(),
+        "best_p_simulated": sweep.best_processors_simulated(),
+        "ranking_agrees": sweep.best_processors_analytic()
+        == sweep.best_processors_simulated(),
+    }

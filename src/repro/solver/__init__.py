@@ -1,0 +1,58 @@
+"""PDE solver substrate: Jacobi/SOR on model Poisson problems."""
+
+from repro.solver.convergence import (
+    CheckSchedule,
+    Criterion,
+    InfNormCriterion,
+    SumSquaresCriterion,
+    checked_cycle_time,
+    convergence_check_flops,
+    dissemination_time,
+)
+from repro.solver.grid import GridField, domain_coordinates
+from repro.solver.jacobi import JacobiResult, jacobi_sweep, solve_jacobi
+from repro.solver.parallel import (
+    HaloCopy,
+    ParallelJacobi,
+    solve_jacobi_parallel,
+)
+from repro.solver.problems import ModelProblem, laplace_problem, poisson_manufactured
+from repro.solver.sor import optimal_sor_omega, solve_sor, sor_sweep
+from repro.solver.theory import (
+    SolveEstimate,
+    estimate_jacobi_iterations,
+    estimate_solve_time,
+    estimate_sor_iterations,
+    jacobi_spectral_radius,
+    sor_spectral_radius,
+)
+
+__all__ = [
+    "CheckSchedule",
+    "Criterion",
+    "GridField",
+    "HaloCopy",
+    "InfNormCriterion",
+    "JacobiResult",
+    "ModelProblem",
+    "SolveEstimate",
+    "ParallelJacobi",
+    "SumSquaresCriterion",
+    "checked_cycle_time",
+    "convergence_check_flops",
+    "dissemination_time",
+    "estimate_jacobi_iterations",
+    "estimate_solve_time",
+    "estimate_sor_iterations",
+    "domain_coordinates",
+    "jacobi_spectral_radius",
+    "jacobi_sweep",
+    "laplace_problem",
+    "optimal_sor_omega",
+    "poisson_manufactured",
+    "solve_jacobi",
+    "solve_jacobi_parallel",
+    "solve_sor",
+    "sor_spectral_radius",
+    "sor_sweep",
+]

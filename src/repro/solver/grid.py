@@ -1,0 +1,111 @@
+"""Grid fields: interior values plus a ghost ring for boundary data.
+
+The paper's model problem discretizes a square physical domain into an
+``n × n`` grid with constant boundary values (Section 3).  A
+:class:`GridField` stores the ``n × n`` interior and a ghost ring wide
+enough for its stencil, so sweeps are single vectorized slice
+expressions and partitioned execution can swap halo data in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.stencils.stencil import Stencil
+
+__all__ = ["GridField", "domain_coordinates"]
+
+
+def domain_coordinates(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Physical coordinates of interior grid points on the unit square.
+
+    Point ``(i, j)`` sits at ``(x, y) = ((j+1)h, (i+1)h)`` with
+    ``h = 1/(n+1)``: the boundary lies on the ghost ring, matching the
+    Dirichlet model problem.  Returns ``(X, Y)`` meshgrid arrays of
+    shape ``(n, n)``.
+    """
+    if n < 1:
+        raise InvalidParameterError("grid size must be >= 1")
+    h = 1.0 / (n + 1)
+    coords = h * np.arange(1, n + 1, dtype=float)
+    x, y = np.meshgrid(coords, coords)  # x varies along columns
+    return x, y
+
+
+@dataclass
+class GridField:
+    """An ``n × n`` field with ghost ring, tied to a stencil's reach."""
+
+    data: np.ndarray  # (n + 2g, n + 2g) storage including ghosts
+    ghost: int
+
+    @classmethod
+    def zeros(cls, n: int, stencil: Stencil, boundary_value: float = 0.0) -> "GridField":
+        """All-zero interior with a constant-valued ghost ring."""
+        g = stencil.reach
+        data = np.full((n + 2 * g, n + 2 * g), boundary_value, dtype=float)
+        data[g : g + n, g : g + n] = 0.0
+        return cls(data=data, ghost=g)
+
+    @classmethod
+    def from_function(
+        cls,
+        n: int,
+        stencil: Stencil,
+        fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        boundary_value: float = 0.0,
+    ) -> "GridField":
+        """Interior initialized to ``fn(x, y)`` on the unit square."""
+        field = cls.zeros(n, stencil, boundary_value)
+        x, y = domain_coordinates(n)
+        field.interior[:] = fn(x, y)
+        return field
+
+    def __post_init__(self) -> None:
+        if self.ghost < 0:
+            raise InvalidParameterError("ghost width must be non-negative")
+        if self.data.ndim != 2:
+            raise InvalidParameterError("field storage must be 2-D")
+        if min(self.data.shape) <= 2 * self.ghost:
+            raise InvalidParameterError(
+                f"storage {self.data.shape} too small for ghost width {self.ghost}"
+            )
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def n(self) -> int:
+        """Interior side length."""
+        return self.data.shape[0] - 2 * self.ghost
+
+    @property
+    def interior(self) -> np.ndarray:
+        """Writable view of the interior (no copy)."""
+        g = self.ghost
+        return self.data[g : g + self.n, g : g + self.n]
+
+    @property
+    def h(self) -> float:
+        """Mesh spacing on the unit square with boundary on the ghosts."""
+        return 1.0 / (self.n + 1)
+
+    def copy(self) -> "GridField":
+        return GridField(data=self.data.copy(), ghost=self.ghost)
+
+    def set_boundary(self, value: float) -> None:
+        """Overwrite the whole ghost ring with a constant (paper's BC)."""
+        g = self.ghost
+        if g == 0:
+            return
+        self.data[:g, :] = value
+        self.data[-g:, :] = value
+        self.data[:, :g] = value
+        self.data[:, -g:] = value
+
+    def max_abs_diff(self, other: "GridField") -> float:
+        """Infinity-norm distance between interiors."""
+        return float(np.max(np.abs(self.interior - other.interior)))

@@ -1,0 +1,125 @@
+"""Sparse-matrix form of the discretizations (scipy substrate).
+
+The iterative solvers never build a matrix; this module does, for two
+grounding purposes:
+
+* the **direct solve** of the same linear system is an independent
+  check that the Jacobi fixed point is the discretization's solution
+  (not just a converged-looking iterate);
+* the **iteration matrix spectral radius** can be measured numerically
+  and compared against the closed forms in :mod:`repro.solver.theory`
+  (``cos(π h)`` for 5-point Jacobi).
+
+The system solved is ``A·u = h²·scale·f + boundary contributions`` with
+``A = I − W`` for stencil weight matrix ``W`` (the Jacobi-normalized
+form), which keeps one code path for every built-in stencil.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import InvalidParameterError
+from repro.solver.problems import ModelProblem
+from repro.stencils.stencil import Stencil
+
+__all__ = [
+    "weight_matrix",
+    "system_matrix",
+    "boundary_vector",
+    "direct_solve",
+    "measured_spectral_radius",
+]
+
+
+def _index(i: int, j: int, n: int) -> int:
+    return i * n + j
+
+
+def weight_matrix(stencil: Stencil, n: int) -> sp.csr_matrix:
+    """``W``: the Jacobi update's interior-to-interior weight matrix.
+
+    Entry ``(p, q) = w`` when interior point ``p`` reads interior point
+    ``q`` with weight ``w``; reads landing on the boundary ring are
+    excluded (they go into :func:`boundary_vector`).
+    """
+    if stencil.weights is None:
+        raise InvalidParameterError(
+            f"stencil {stencil.name!r} has no weights; use a library stencil"
+        )
+    if n < 1:
+        raise InvalidParameterError("grid size must be >= 1")
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i in range(n):
+        for j in range(n):
+            p = _index(i, j, n)
+            for (di, dj), w in stencil.weights.items():
+                ii, jj = i + di, j + dj
+                if 0 <= ii < n and 0 <= jj < n:
+                    rows.append(p)
+                    cols.append(_index(ii, jj, n))
+                    vals.append(w)
+    return sp.csr_matrix((vals, (rows, cols)), shape=(n * n, n * n))
+
+
+def boundary_vector(stencil: Stencil, n: int, boundary_value: float) -> np.ndarray:
+    """Constant-boundary contributions: weights of reads leaving the grid."""
+    if stencil.weights is None:
+        raise InvalidParameterError("stencil has no weights")
+    out = np.zeros(n * n)
+    for i in range(n):
+        for j in range(n):
+            acc = 0.0
+            for (di, dj), w in stencil.weights.items():
+                ii, jj = i + di, j + dj
+                if not (0 <= ii < n and 0 <= jj < n):
+                    acc += w * boundary_value
+            out[_index(i, j, n)] = acc
+    return out
+
+
+def system_matrix(stencil: Stencil, n: int) -> sp.csr_matrix:
+    """``A = I − W``: the linear system whose solution Jacobi iterates to."""
+    w = weight_matrix(stencil, n)
+    return (sp.identity(n * n, format="csr") - w).tocsr()
+
+
+def direct_solve(
+    stencil: Stencil, problem: ModelProblem, n: int
+) -> np.ndarray:
+    """Solve the discretized system directly; returns the n×n field.
+
+    ``u = W·u + h²·rhs_scale·f + g  ⇒  (I − W)·u = h²·rhs_scale·f + g``.
+    """
+    h = 1.0 / (n + 1)
+    rhs = (
+        stencil.rhs_scale * h * h * problem.rhs_grid(n).ravel()
+        + boundary_vector(stencil, n, problem.boundary_value)
+    )
+    a = system_matrix(stencil, n)
+    u = spla.spsolve(a.tocsc(), rhs)
+    return u.reshape(n, n)
+
+
+def measured_spectral_radius(stencil: Stencil, n: int) -> float:
+    """Largest |eigenvalue| of the Jacobi weight matrix, computed sparsely.
+
+    For the 5-point stencil this must equal ``cos(π/(n+1))``; for the
+    fourth-order star stencils it exceeds 1 (why they need damping).
+    """
+    w = weight_matrix(stencil, n)
+    # The weight matrices of the symmetric model stencils are symmetric,
+    # so eigsh on magnitude extremes is reliable; take both ends because
+    # the dominant eigenvalue may be negative (high-frequency mode).
+    k = min(2, n * n - 1)
+    if n * n <= 3:
+        dense = np.linalg.eigvals(w.toarray())
+        return float(np.max(np.abs(dense)))
+    vals = spla.eigsh(
+        w.asfptype(), k=k, which="LM", return_eigenvectors=False, maxiter=5000
+    )
+    return float(np.max(np.abs(vals)))

@@ -1,0 +1,72 @@
+"""Model problems with known solutions, for grounding the solver.
+
+Two classics on the unit square with Dirichlet boundaries:
+
+* :func:`laplace_problem` — ``Δu = 0`` with harmonic boundary data; the
+  exact solution is the harmonic function itself, so the discrete
+  answer converges to it as the grid refines.
+* :func:`poisson_manufactured` — ``−Δu = f`` with
+  ``u*(x, y) = sin(πx)·sin(πy)`` (zero boundary) and
+  ``f = 2π²·sin(πx)·sin(πy)``; the classic manufactured solution.
+
+Both return a :class:`ModelProblem` bundling the right-hand side, the
+boundary value, and an exact-solution evaluator for error measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.solver.grid import domain_coordinates
+
+__all__ = ["ModelProblem", "laplace_problem", "poisson_manufactured"]
+
+
+@dataclass(frozen=True)
+class ModelProblem:
+    """A Poisson problem ``−Δu = f`` with constant Dirichlet boundary."""
+
+    name: str
+    rhs: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    boundary_value: float
+    exact: Callable[[np.ndarray, np.ndarray], np.ndarray] | None
+
+    def rhs_grid(self, n: int) -> np.ndarray:
+        x, y = domain_coordinates(n)
+        return np.asarray(self.rhs(x, y), dtype=float)
+
+    def exact_grid(self, n: int) -> np.ndarray:
+        if self.exact is None:
+            raise ValueError(f"problem {self.name!r} has no closed-form solution")
+        x, y = domain_coordinates(n)
+        return np.asarray(self.exact(x, y), dtype=float)
+
+
+def laplace_problem(boundary_value: float = 1.0) -> ModelProblem:
+    """``Δu = 0`` with constant boundary: the solution is that constant.
+
+    The simplest possible ground truth — any consistent scheme must
+    reproduce a constant exactly (weights sum to one), making this the
+    sharpest test of the stencil weights and ghost handling.
+    """
+    return ModelProblem(
+        name=f"laplace-const({boundary_value:g})",
+        rhs=lambda x, y: np.zeros_like(x),
+        boundary_value=boundary_value,
+        exact=lambda x, y: np.full_like(x, boundary_value),
+    )
+
+
+def poisson_manufactured() -> ModelProblem:
+    """``−Δu = 2π² sin(πx) sin(πy)``, exact ``u = sin(πx) sin(πy)``."""
+    two_pi_sq = 2.0 * math.pi**2
+    return ModelProblem(
+        name="poisson-sin-sin",
+        rhs=lambda x, y: two_pi_sq * np.sin(math.pi * x) * np.sin(math.pi * y),
+        boundary_value=0.0,
+        exact=lambda x, y: np.sin(math.pi * x) * np.sin(math.pi * y),
+    )

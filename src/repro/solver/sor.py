@@ -1,0 +1,125 @@
+"""Red-black Gauss-Seidel / SOR for the 5-point stencil.
+
+An extension substrate beyond the paper's point-Jacobi baseline: the
+red-black ordering decouples the 5-point stencil into two half-sweeps,
+each fully vectorizable, and over-relaxation accelerates convergence by
+an order of magnitude on Poisson problems.  Used by the solver benches
+to show the performance model is algorithm-agnostic (only ``E(S)``
+changes).
+
+Only the 5-point stencil admits the two-color decoupling; other
+stencils raise immediately rather than silently computing a different
+iteration.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.solver.convergence import CheckSchedule, Criterion, InfNormCriterion
+from repro.solver.grid import GridField
+from repro.solver.jacobi import JacobiResult
+from repro.solver.problems import ModelProblem
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.stencil import Stencil
+
+__all__ = ["optimal_sor_omega", "sor_sweep", "solve_sor"]
+
+
+def optimal_sor_omega(n: int) -> float:
+    """Classic optimal over-relaxation factor for the 5-point Laplacian.
+
+    ``ω* = 2 / (1 + sin(π·h))`` with ``h = 1/(n+1)`` — approaches 2 as
+    the grid refines.
+    """
+    if n < 1:
+        raise InvalidParameterError("grid size must be >= 1")
+    h = 1.0 / (n + 1)
+    return 2.0 / (1.0 + math.sin(math.pi * h))
+
+
+def _require_five_point(stencil: Stencil) -> None:
+    if tuple(sorted(stencil.offsets)) != tuple(sorted(FIVE_POINT.offsets)):
+        raise InvalidParameterError(
+            "red-black SOR requires the 5-point stencil "
+            f"(got {stencil.name!r}); other stencils do not two-color"
+        )
+
+
+def _color_mask(n: int, parity: int) -> np.ndarray:
+    i, j = np.indices((n, n))
+    return (i + j) % 2 == parity
+
+
+def sor_sweep(
+    current: GridField,
+    rhs: np.ndarray | None,
+    omega: float,
+    red_mask: np.ndarray,
+    black_mask: np.ndarray,
+) -> None:
+    """One red-black SOR sweep (two half-updates) in place."""
+    if not 0.0 < omega < 2.0:
+        raise InvalidParameterError("SOR requires omega in (0, 2)")
+    g = current.ghost
+    n = current.n
+    data = current.data
+    interior = current.interior
+    h2 = current.h**2
+    for mask in (red_mask, black_mask):
+        neighbour_avg = 0.25 * (
+            data[g - 1 : g - 1 + n, g : g + n]
+            + data[g + 1 : g + 1 + n, g : g + n]
+            + data[g : g + n, g - 1 : g - 1 + n]
+            + data[g : g + n, g + 1 : g + 1 + n]
+        )
+        if rhs is not None:
+            neighbour_avg = neighbour_avg + 0.25 * h2 * rhs
+        interior[mask] += omega * (neighbour_avg[mask] - interior[mask])
+
+
+def solve_sor(
+    problem: ModelProblem,
+    n: int,
+    omega: float | None = None,
+    criterion: Criterion | None = None,
+    schedule: CheckSchedule = CheckSchedule(1),
+    max_iterations: int = 100_000,
+) -> JacobiResult:
+    """Solve the model problem with red-black SOR on the 5-point stencil.
+
+    ``omega=None`` uses the classical optimum.  Returns the same result
+    type as the Jacobi solver so the two are interchangeable in tests
+    and benches.
+    """
+    if max_iterations < 1:
+        raise InvalidParameterError("max_iterations must be >= 1")
+    omega = optimal_sor_omega(n) if omega is None else omega
+    criterion = criterion or InfNormCriterion(tol=1e-8)
+    fld = GridField.zeros(n, FIVE_POINT, problem.boundary_value)
+    fld.set_boundary(problem.boundary_value)
+    rhs = problem.rhs_grid(n)
+    red = _color_mask(n, 0)
+    black = _color_mask(n, 1)
+    previous = np.empty((n, n), dtype=float)
+    history: list[float] = []
+
+    for iteration in range(1, max_iterations + 1):
+        check = schedule.should_check(iteration)
+        if check:
+            previous[:] = fld.interior
+        sor_sweep(fld, rhs, omega, red, black)
+        if check:
+            measure = criterion.measure(previous, fld.interior)
+            history.append(measure)
+            if criterion.is_converged(measure):
+                return JacobiResult(
+                    field=fld, iterations=iteration, converged=True, history=history
+                )
+    raise ConvergenceError(
+        f"SOR did not converge in {max_iterations} iterations "
+        f"(last measure: {history[-1] if history else 'never checked'})"
+    )

@@ -1,0 +1,49 @@
+"""Stencil geometry, the k(P,S) classification, and vectorized kernels."""
+
+from repro.stencils.apply import (
+    apply_stencil,
+    apply_stencil_into,
+    ghost_width,
+    pad_with_boundary,
+    residual_sum_squares,
+)
+from repro.stencils.library import (
+    ALL_STENCILS,
+    FIVE_POINT,
+    NINE_POINT_BOX,
+    NINE_POINT_STAR,
+    THIRTEEN_POINT,
+    by_name,
+)
+from repro.stencils.perimeter import (
+    KTableRow,
+    PartitionKind,
+    boundary_points,
+    interior_volume,
+    k_table,
+    perimeters_required,
+)
+from repro.stencils.stencil import Offset, Stencil, stencil_from_offsets
+
+__all__ = [
+    "ALL_STENCILS",
+    "FIVE_POINT",
+    "KTableRow",
+    "NINE_POINT_BOX",
+    "NINE_POINT_STAR",
+    "Offset",
+    "PartitionKind",
+    "Stencil",
+    "THIRTEEN_POINT",
+    "apply_stencil",
+    "apply_stencil_into",
+    "boundary_points",
+    "by_name",
+    "ghost_width",
+    "interior_volume",
+    "k_table",
+    "pad_with_boundary",
+    "perimeters_required",
+    "residual_sum_squares",
+    "stencil_from_offsets",
+]

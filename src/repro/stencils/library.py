@@ -1,0 +1,116 @@
+"""The paper's stencil zoo (Figures 1 and 3) as ready-made objects.
+
+Weights are for the model Poisson problem ``-Δu = f`` discretized on a
+uniform grid with spacing ``h``; the Jacobi update divides through by
+the center coefficient, so weights here sum to 1 for the Laplace part.
+``rhs_scale`` carries the ``h²`` factor *per unit h²* — the solver
+multiplies by the actual ``h²`` at run time.
+
+Flop counts ``E(S)`` follow the neighbour+normalize rule of
+:mod:`repro.stencils.stencil`: ``E(5-point) = 5`` and
+``E(9-point) = 10``, the ratio (≈2×) that reproduces the paper's
+Figure 7 anchor (14 vs 22 processors for a 256×256 grid).
+"""
+
+from __future__ import annotations
+
+from repro.stencils.stencil import Offset, Stencil
+
+__all__ = [
+    "FIVE_POINT",
+    "NINE_POINT_BOX",
+    "NINE_POINT_STAR",
+    "THIRTEEN_POINT",
+    "ALL_STENCILS",
+    "by_name",
+]
+
+
+def _star(radius: int) -> tuple[Offset, ...]:
+    """Axis-aligned arms of the given radius (no diagonals, no center)."""
+    offs: list[Offset] = []
+    for r in range(1, radius + 1):
+        offs.extend([(-r, 0), (r, 0), (0, -r), (0, r)])
+    return tuple(offs)
+
+
+def _diagonals(radius: int) -> tuple[Offset, ...]:
+    offs: list[Offset] = []
+    for r in range(1, radius + 1):
+        offs.extend([(-r, -r), (-r, r), (r, -r), (r, r)])
+    return tuple(offs)
+
+
+#: Classic 5-point Laplace stencil (Figure 1 left): N, S, E, W neighbours.
+FIVE_POINT = Stencil(
+    name="5-point",
+    offsets=_star(1),
+    weights={o: 0.25 for o in _star(1)},
+    flops_per_point=5.0,
+    rhs_scale=0.25,
+)
+
+#: 9-point box stencil (Figure 1 right): ring of 8 around the center.
+#: Weight pattern is the standard high-order Laplace 9-point scheme:
+#: 4/20 on edges, 1/20 on corners.
+NINE_POINT_BOX = Stencil(
+    name="9-point-box",
+    offsets=_star(1) + _diagonals(1),
+    weights={
+        **{o: 4.0 / 20.0 for o in _star(1)},
+        **{o: 1.0 / 20.0 for o in _diagonals(1)},
+    },
+    flops_per_point=10.0,
+    rhs_scale=6.0 / 20.0,
+)
+
+#: 9-point star stencil (Figure 3 left, "9-arm"): arms of length 2,
+#: no diagonals.  Requires two perimeters of boundary data (k = 2).
+#: Weights follow the fourth-order 1-D (−1, 16, −30, 16, −1)/12 scheme
+#: applied in each dimension and normalized by the center 60/12.
+NINE_POINT_STAR = Stencil(
+    name="9-point-star",
+    offsets=_star(2),
+    weights={
+        **{o: 16.0 / 60.0 for o in _star(1)},
+        **{o: -1.0 / 60.0 for o in (( -2, 0), (2, 0), (0, -2), (0, 2))},
+    },
+    flops_per_point=10.0,
+    rhs_scale=12.0 / 60.0,
+)
+
+#: 13-point stencil (Figure 3 right): arms of length 2 plus the four
+#: unit diagonals.  Needs two perimeters (k = 2) and, because of the
+#: diagonals, corner communication.
+THIRTEEN_POINT = Stencil(
+    name="13-point",
+    offsets=_star(2) + _diagonals(1),
+    weights={
+        **{o: 16.0 / 64.0 for o in _star(1)},
+        **{o: -1.0 / 64.0 for o in ((-2, 0), (2, 0), (0, -2), (0, 2))},
+        **{o: 1.0 / 64.0 for o in _diagonals(1)},
+    },
+    flops_per_point=14.0,
+    rhs_scale=12.0 / 64.0,
+)
+
+ALL_STENCILS: tuple[Stencil, ...] = (
+    FIVE_POINT,
+    NINE_POINT_BOX,
+    NINE_POINT_STAR,
+    THIRTEEN_POINT,
+)
+
+_BY_NAME = {s.name: s for s in ALL_STENCILS}
+
+
+def by_name(name: str) -> Stencil:
+    """Look up a built-in stencil by its ``name`` field.
+
+    Raises :class:`KeyError` with the list of known names on a miss.
+    """
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown stencil {name!r}; known stencils: {known}") from None

@@ -1,0 +1,111 @@
+"""The k(Partition, Stencil) classification of Section 3.
+
+A partition must import every exterior grid point its stencil reads.
+The paper counts this import volume in "perimeters": rings of points
+around the partition.  ``k(P, S)`` is the number of rings needed, which
+depends only on how far the stencil reaches *across the partition's
+boundaries*:
+
+* **strips** span entire grid rows, so only the row reach matters:
+  ``k(strip, S) = max |di|``;
+* **squares** (and near-square rectangles) have boundaries in both
+  dimensions: ``k(square, S) = max(max |di|, max |dj|)`` — the
+  Chebyshev radius.
+
+Rather than hard-coding the paper's table we compute ``k`` from the
+stencil geometry, so user-defined stencils classify correctly, and the
+table itself becomes a regression test (`tests/stencils/test_perimeter`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.stencils.stencil import Stencil
+
+__all__ = [
+    "PartitionKind",
+    "perimeters_required",
+    "boundary_points",
+    "interior_volume",
+    "KTableRow",
+    "k_table",
+]
+
+
+class PartitionKind(enum.Enum):
+    """The two partition geometries the paper analyzes."""
+
+    STRIP = "strip"
+    SQUARE = "square"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def perimeters_required(kind: PartitionKind, stencil: Stencil) -> int:
+    """``k(P, S)``: perimeters communicated per iteration.
+
+    >>> from repro.stencils.library import FIVE_POINT, NINE_POINT_STAR
+    >>> perimeters_required(PartitionKind.STRIP, FIVE_POINT)
+    1
+    >>> perimeters_required(PartitionKind.SQUARE, NINE_POINT_STAR)
+    2
+    """
+    if kind is PartitionKind.STRIP:
+        return stencil.reach_rows
+    return stencil.reach
+
+
+def boundary_points(kind: PartitionKind, area: int, n: int, k: int = 1) -> float:
+    """Number of points in ``k`` perimeters of a partition of ``area`` points.
+
+    Follows the paper's continuous accounting: a strip of area ``A`` on an
+    ``n × n`` grid exposes ``2·n`` points per perimeter (one row above and
+    one below); a square of area ``A`` exposes ``4·sqrt(A)`` per perimeter.
+    Corner effects are ignored exactly as in the paper (footnote 4).
+    """
+    if area <= 0 or n <= 0 or k <= 0:
+        raise ValueError("area, n, and k must be positive")
+    if kind is PartitionKind.STRIP:
+        return 2.0 * n * k
+    return 4.0 * float(area) ** 0.5 * k
+
+
+def interior_volume(kind: PartitionKind, area: int, n: int, k: int) -> float:
+    """Points of a partition *not* needed by any neighbour.
+
+    Complementary to :func:`boundary_points`; used by the asynchronous-bus
+    model to order boundary updates before interior updates.  Clamped at
+    zero for partitions thinner than their stencil reach.
+    """
+    return max(0.0, float(area) - boundary_points(kind, area, n, k))
+
+
+@dataclass(frozen=True)
+class KTableRow:
+    """One row of the Section-3 classification table."""
+
+    partition: PartitionKind
+    stencil: str
+    k: int
+
+
+def k_table(stencils, kinds=(PartitionKind.STRIP, PartitionKind.SQUARE)):
+    """Build the full k(P, S) table for the given stencils.
+
+    Returns a list of :class:`KTableRow`, ordered stencil-major to match
+    the paper's presentation.
+    """
+    rows: list[KTableRow] = []
+    for stencil in stencils:
+        for kind in kinds:
+            rows.append(
+                KTableRow(
+                    partition=kind,
+                    stencil=stencil.name,
+                    k=perimeters_required(kind, stencil),
+                )
+            )
+    return rows

@@ -1,0 +1,98 @@
+"""Small helpers for time quantities and human-readable formatting.
+
+The model works in abstract seconds; machine presets in
+:mod:`repro.machines.catalog` use 1980s-era magnitudes (microseconds per
+flop and per bus word) so that reproduced numbers are comparable to the
+paper's.  Nothing in the model depends on the absolute scale: every
+result of interest (speedup, processor count, crossover, exponent) is a
+ratio of times.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "MICROSECOND",
+    "MILLISECOND",
+    "NANOSECOND",
+    "format_time",
+    "format_count",
+    "log2_int",
+    "is_power_of_two",
+    "next_power_of_two",
+]
+
+NANOSECOND: float = 1e-9
+MICROSECOND: float = 1e-6
+MILLISECOND: float = 1e-3
+
+_SCALES: tuple[tuple[float, str], ...] = (
+    (1.0, "s"),
+    (1e-3, "ms"),
+    (1e-6, "us"),
+    (1e-9, "ns"),
+)
+
+
+def format_time(seconds: float, digits: int = 3) -> str:
+    """Render a duration with an auto-selected SI suffix.
+
+    >>> format_time(3.2e-5)
+    '32.0us'
+    """
+    if seconds < 0:
+        return "-" + format_time(-seconds, digits)
+    if seconds == 0:
+        return "0s"
+    for scale, suffix in _SCALES:
+        if seconds >= scale:
+            return f"{seconds / scale:.{digits}g}{suffix}"
+    return f"{seconds / 1e-9:.{digits}g}ns"
+
+
+def format_count(value: float) -> str:
+    """Render a large count with thousands separators (``12_345 -> '12,345'``)."""
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def log2_int(value: int) -> int:
+    """Exact base-2 logarithm of a power of two.
+
+    Raises :class:`ValueError` when ``value`` is not a positive power of
+    two; use :func:`math.log2` for the real-valued logarithm.
+    """
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive integral power of two."""
+    return value > 0 and value & (value - 1) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value`` (``value`` must be positive)."""
+    if value <= 0:
+        raise ValueError("value must be positive")
+    return 1 << (value - 1).bit_length()
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative ``numerator``."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-numerator // denominator)
+
+
+def geometric_span(lo: float, hi: float, count: int) -> list[float]:
+    """``count`` geometrically spaced values covering ``[lo, hi]`` inclusive."""
+    if lo <= 0 or hi <= 0 or hi < lo:
+        raise ValueError("need 0 < lo <= hi")
+    if count < 2:
+        return [lo]
+    ratio = (hi / lo) ** (1.0 / (count - 1))
+    return [lo * ratio**i for i in range(count)]

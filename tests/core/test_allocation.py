@@ -1,0 +1,127 @@
+"""Optimal processor allocation: regimes, caps, integrality."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import admissible_area_range, optimize_allocation
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+class TestAdmissibleRange:
+    def test_strip_floor_is_one_row(self):
+        w = Workload(n=32, stencil=FIVE_POINT)
+        lo, hi = admissible_area_range(w, STRIP, None)
+        assert lo == 32.0
+        assert hi == 1024.0
+
+    def test_square_floor_is_one_point(self):
+        w = Workload(n=32, stencil=FIVE_POINT)
+        lo, _ = admissible_area_range(w, SQUARE, None)
+        assert lo == 1.0
+
+    def test_cap_raises_floor(self):
+        w = Workload(n=32, stencil=FIVE_POINT)
+        lo, _ = admissible_area_range(w, SQUARE, 16)
+        assert lo == 64.0
+
+    def test_rejects_bad_cap(self):
+        w = Workload(n=32, stencil=FIVE_POINT)
+        with pytest.raises(InvalidParameterError):
+            admissible_area_range(w, SQUARE, 0.5)
+
+
+class TestRegimes:
+    def test_monotone_machine_uses_all(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        alloc = optimize_allocation(cube, w, SQUARE, max_processors=16)
+        assert alloc.regime == "all"
+        assert alloc.processors == pytest.approx(16.0)
+
+    def test_terrible_network_falls_back_to_one(self):
+        slow = Hypercube(alpha=1.0, beta=10.0)
+        w = Workload(n=16, stencil=FIVE_POINT)
+        alloc = optimize_allocation(slow, w, SQUARE, max_processors=16)
+        assert alloc.regime == "one"
+        assert alloc.speedup == 1.0
+        assert alloc.efficiency == 1.0
+
+    def test_bus_interior_optimum(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=256, stencil=FIVE_POINT)
+        alloc = optimize_allocation(bus, w, SQUARE, max_processors=1000)
+        assert alloc.regime == "interior"
+        assert 1.0 < alloc.processors < 1000.0
+        # The interior optimum is the closed-form one.
+        assert alloc.area == pytest.approx(
+            bus.optimal_square_side(w) ** 2, rel=1e-9
+        )
+
+    def test_small_cap_binds(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=256, stencil=FIVE_POINT)
+        alloc = optimize_allocation(bus, w, SQUARE, max_processors=8)
+        assert alloc.regime == "all"
+        assert alloc.processors == pytest.approx(8.0)
+
+    def test_speedup_consistency(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=256, stencil=FIVE_POINT)
+        alloc = optimize_allocation(bus, w, SQUARE, max_processors=16)
+        assert alloc.speedup == pytest.approx(w.serial_time() / alloc.cycle_time)
+        assert alloc.efficiency == pytest.approx(alloc.speedup / alloc.processors)
+
+
+class TestIntegrality:
+    def test_strip_areas_are_whole_rows(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=100, stencil=FIVE_POINT)
+        alloc = optimize_allocation(bus, w, STRIP, integer=True)
+        assert alloc.area % w.n == pytest.approx(0.0, abs=1e-9)
+
+    def test_square_processor_counts_are_integers(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=100, stencil=FIVE_POINT)
+        alloc = optimize_allocation(bus, w, SQUARE, integer=True)
+        assert alloc.processors == pytest.approx(round(alloc.processors), abs=1e-6)
+
+    def test_integer_never_beats_continuous(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=100, stencil=FIVE_POINT)
+        continuous = optimize_allocation(bus, w, STRIP)
+        integral = optimize_allocation(bus, w, STRIP, integer=True)
+        assert integral.cycle_time >= continuous.cycle_time - 1e-18
+
+    @given(n=st.integers(min_value=16, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_integer_strip_brackets_continuous(self, n):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=n, stencil=FIVE_POINT)
+        continuous = optimize_allocation(bus, w, STRIP)
+        integral = optimize_allocation(bus, w, STRIP, integer=True)
+        if continuous.regime == "interior":
+            rows_cont = continuous.area / n
+            rows_int = integral.area / n
+            assert abs(rows_int - rows_cont) <= 1.0 + 1e-9
+
+
+class TestOneProcessorAlwaysConsidered:
+    @given(b_exp=st.integers(min_value=-7, max_value=-3))
+    @settings(max_examples=15, deadline=None)
+    def test_never_worse_than_serial(self, b_exp):
+        bus = SynchronousBus(b=10.0**b_exp, c=0.0)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        alloc = optimize_allocation(bus, w, SQUARE, max_processors=64)
+        assert alloc.cycle_time <= w.serial_time() + 1e-18
+        assert alloc.speedup >= 1.0

@@ -1,0 +1,95 @@
+"""Memory and machine-size constraints on allocation."""
+
+import pytest
+
+from repro.core.constraints import (
+    MachineSize,
+    constrained_allocation,
+    min_processors_for_memory,
+)
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+SQUARE = PartitionKind.SQUARE
+STRIP = PartitionKind.STRIP
+
+
+class TestMachineSize:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MachineSize(n_processors=0)
+        with pytest.raises(InvalidParameterError):
+            MachineSize(n_processors=4, memory_points=1.0)
+
+
+class TestMinProcessors:
+    def test_unconstrained_memory_allows_serial(self):
+        w = Workload(n=64, stencil=FIVE_POINT)
+        ms = MachineSize(n_processors=16)
+        assert min_processors_for_memory(w, SQUARE, ms) == 1
+
+    def test_big_memory_allows_serial(self):
+        w = Workload(n=32, stencil=FIVE_POINT)
+        ms = MachineSize(n_processors=16, memory_points=1e9)
+        assert min_processors_for_memory(w, SQUARE, ms) == 1
+
+    def test_tight_memory_forces_parallelism(self):
+        w = Workload(n=64, stencil=FIVE_POINT)
+        # One processor would need 4096 + halo; cap at ~1/4 grid.
+        ms = MachineSize(n_processors=64, memory_points=1100.0)
+        p_min = min_processors_for_memory(w, SQUARE, ms)
+        assert p_min > 1
+        # The returned count actually fits, and one fewer does not.
+        area_ok = w.grid_points / p_min
+        area_bad = w.grid_points / (p_min - 1)
+        from repro.stencils.perimeter import boundary_points
+
+        assert area_ok + boundary_points(SQUARE, int(area_ok), 64, 1) <= 1100
+        assert area_bad + boundary_points(SQUARE, int(area_bad), 64, 1) > 1100
+
+    def test_problem_too_big_raises(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        ms = MachineSize(n_processors=2, memory_points=100.0)
+        with pytest.raises(InvalidParameterError, match="more memory"):
+            min_processors_for_memory(w, SQUARE, ms)
+
+
+class TestConstrainedAllocation:
+    def test_unbound_matches_plain_optimizer(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        ms = MachineSize(n_processors=16)
+        res = constrained_allocation(bus, w, SQUARE, ms)
+        assert not res.memory_bound
+        from repro.core.allocation import optimize_allocation
+
+        plain = optimize_allocation(bus, w, SQUARE, max_processors=16)
+        assert res.allocation.cycle_time == pytest.approx(plain.cycle_time)
+
+    def test_memory_forbids_serial_fallback(self):
+        """Section 4: a terrible network prefers one processor — unless
+        the problem doesn't fit, in which case spread maximally."""
+        w = Workload(n=64, stencil=FIVE_POINT)
+        slow = Hypercube(alpha=1.0, beta=10.0)
+        roomy = MachineSize(n_processors=16)
+        assert constrained_allocation(slow, w, SQUARE, roomy).processors == 1.0
+
+        tight = MachineSize(n_processors=16, memory_points=1100.0)
+        res = constrained_allocation(slow, w, SQUARE, tight)
+        assert res.memory_bound
+        assert res.processors >= res.min_processors > 1
+
+    def test_forced_allocation_fits_memory(self):
+        w = Workload(n=128, stencil=FIVE_POINT)
+        bus = SynchronousBus(b=1e-3, c=0.0)  # slow bus: serial would win
+        ms = MachineSize(n_processors=32, memory_points=3000.0)
+        res = constrained_allocation(bus, w, SQUARE, ms)
+        assert res.memory_bound
+        area = w.grid_points / res.processors
+        from repro.stencils.perimeter import boundary_points
+
+        assert area + boundary_points(SQUARE, int(area), 128, 1) <= 3000.0

@@ -1,0 +1,69 @@
+"""Crossover analysis: strips vs squares, architecture vs architecture."""
+
+import pytest
+
+from repro.core.crossover import (
+    find_crossover_grid_size,
+    speedup_ratio,
+    strip_square_ratio,
+)
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.bus import SynchronousBus
+from repro.stencils.library import FIVE_POINT
+
+
+@pytest.fixture
+def bus():
+    return SynchronousBus(b=6.1e-6, c=0.0)
+
+
+class TestRatios:
+    def test_squares_dominate_strips(self, bus):
+        for n in (256, 1024, 4096):
+            w = Workload(n=n, stencil=FIVE_POINT)
+            assert strip_square_ratio(bus, w) < 1.0
+
+    def test_strip_square_gap_widens_with_n(self, bus):
+        r_small = strip_square_ratio(bus, Workload(n=256, stencil=FIVE_POINT))
+        r_big = strip_square_ratio(bus, Workload(n=16384, stencil=FIVE_POINT))
+        assert r_big < r_small
+
+    def test_banyan_beats_bus_for_large_problems(self, bus):
+        net = BanyanNetwork(w=2e-7)
+        w = Workload(n=4096, stencil=FIVE_POINT)
+        from repro.stencils.perimeter import PartitionKind
+
+        assert speedup_ratio(net, bus, w, PartitionKind.SQUARE) > 1.0
+
+
+class TestCrossoverSearch:
+    def test_threshold_found_monotone_metric(self):
+        result = find_crossover_grid_size(lambda n: n / 100.0, threshold=1.0)
+        assert result.n == 100
+        assert result.value_before < 1.0 <= result.value_after
+
+    def test_already_above_threshold(self):
+        result = find_crossover_grid_size(lambda n: 5.0, threshold=1.0, n_lo=4)
+        assert result.n == 4
+
+    def test_never_reached_raises(self):
+        with pytest.raises(InvalidParameterError, match="never reaches"):
+            find_crossover_grid_size(lambda n: 0.0, threshold=1.0, n_hi=128)
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            find_crossover_grid_size(lambda n: n, n_lo=10, n_hi=10)
+
+    def test_banyan_bus_crossover_is_finite(self, bus):
+        """The banyan overtakes the bus at some modest grid size."""
+        net = BanyanNetwork(w=2e-7)
+        from repro.stencils.perimeter import PartitionKind
+
+        def metric(n: int) -> float:
+            w = Workload(n=n, stencil=FIVE_POINT)
+            return speedup_ratio(net, bus, w, PartitionKind.SQUARE)
+
+        result = find_crossover_grid_size(metric, threshold=1.0, n_lo=2, n_hi=4096)
+        assert 2 <= result.n <= 4096

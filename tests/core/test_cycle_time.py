@@ -1,0 +1,63 @@
+"""Cycle-time curves and phase breakdowns."""
+
+import numpy as np
+import pytest
+
+from repro.core.cycle_time import (
+    communication_fraction,
+    cycle_time_curve,
+    cycle_time_vs_processors,
+    phase_breakdown,
+)
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.bus import SynchronousBus
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+SQUARE = PartitionKind.SQUARE
+
+
+@pytest.fixture
+def bus():
+    return SynchronousBus(b=6.1e-6, c=0.0)
+
+
+@pytest.fixture
+def w():
+    return Workload(n=64, stencil=FIVE_POINT)
+
+
+class TestCurves:
+    def test_curve_matches_scalar_calls(self, bus, w):
+        areas = np.array([16.0, 64.0, 256.0])
+        curve = cycle_time_curve(bus, w, SQUARE, areas)
+        for a, t in zip(areas, curve):
+            assert t == pytest.approx(bus.cycle_time(w, SQUARE, float(a)))
+
+    def test_processor_curve_maps_one_to_serial(self, bus, w):
+        curve = cycle_time_vs_processors(bus, w, SQUARE, np.array([1.0, 4.0]))
+        assert curve[0] == pytest.approx(w.serial_time())
+        assert curve[1] == pytest.approx(bus.cycle_time(w, SQUARE, w.grid_points / 4))
+
+    def test_processor_curve_rejects_sub_one(self, bus, w):
+        with pytest.raises(InvalidParameterError):
+            cycle_time_vs_processors(bus, w, SQUARE, np.array([0.5]))
+
+
+class TestPhases:
+    def test_breakdown_sums_to_total(self, bus, w):
+        phases = phase_breakdown(bus, w, SQUARE, 64.0)
+        assert phases.total == pytest.approx(bus.cycle_time(w, SQUARE, 64.0))
+        assert phases.compute == pytest.approx(w.compute_time(64.0))
+        assert phases.communication > 0
+
+    def test_fraction_in_unit_interval(self, bus, w):
+        areas = np.linspace(4.0, float(w.grid_points), 32)
+        frac = communication_fraction(bus, w, SQUARE, areas)
+        assert np.all(frac >= 0.0) and np.all(frac <= 1.0)
+
+    def test_fraction_decreases_with_area(self, bus, w):
+        """Bigger partitions -> higher computation-to-communication ratio."""
+        frac = communication_fraction(bus, w, SQUARE, np.array([16.0, 1024.0]))
+        assert frac[0] > frac[1]

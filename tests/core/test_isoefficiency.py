@@ -1,0 +1,79 @@
+"""Isoefficiency functions implied by the cycle-time models."""
+
+import pytest
+
+from repro.core.isoefficiency import grid_for_efficiency, isoefficiency_exponent
+from repro.core.parameters import Workload
+from repro.core.speedup import speedup_at_processors
+from repro.errors import InvalidParameterError
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+SQUARE = PartitionKind.SQUARE
+STRIP = PartitionKind.STRIP
+TEMPLATE = Workload(n=16, stencil=FIVE_POINT)
+PROCS = [4, 8, 16, 32, 64]
+
+
+class TestGridForEfficiency:
+    def test_found_grid_is_minimal(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        n = grid_for_efficiency(bus, TEMPLATE, SQUARE, 16, 0.5)
+        s_at = speedup_at_processors(bus, TEMPLATE.with_n(n), SQUARE, 16.0)
+        s_below = speedup_at_processors(bus, TEMPLATE.with_n(n - 1), SQUARE, 16.0)
+        assert s_at >= 0.5 * 16
+        assert s_below < 0.5 * 16
+
+    def test_higher_efficiency_needs_bigger_grid(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        n50 = grid_for_efficiency(bus, TEMPLATE, SQUARE, 16, 0.5)
+        n80 = grid_for_efficiency(bus, TEMPLATE, SQUARE, 16, 0.8)
+        assert n80 > n50
+
+    def test_validation(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        with pytest.raises(InvalidParameterError):
+            grid_for_efficiency(bus, TEMPLATE, SQUARE, 16, 1.5)
+        with pytest.raises(InvalidParameterError):
+            grid_for_efficiency(bus, TEMPLATE, SQUARE, 1, 0.5)
+
+    def test_unreachable_raises(self):
+        terrible = SynchronousBus(b=10.0, c=0.0)
+        with pytest.raises(InvalidParameterError, match="no grid"):
+            grid_for_efficiency(terrible, TEMPLATE, SQUARE, 16, 0.9, n_max=256)
+
+
+class TestExponents:
+    def test_hypercube_linear(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        fit = isoefficiency_exponent(cube, TEMPLATE, SQUARE, PROCS)
+        assert fit.exponent == pytest.approx(1.0, abs=0.15)
+
+    def test_bus_squares_cubic(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        fit = isoefficiency_exponent(bus, TEMPLATE, SQUARE, PROCS)
+        assert fit.exponent == pytest.approx(3.0, abs=0.1)
+
+    def test_bus_strips_quartic(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        fit = isoefficiency_exponent(bus, TEMPLATE, STRIP, PROCS)
+        assert fit.exponent == pytest.approx(4.0, abs=0.1)
+
+    def test_banyan_slightly_superlinear(self):
+        net = BanyanNetwork(w=2e-7)
+        fit = isoefficiency_exponent(net, TEMPLATE, SQUARE, [16, 32, 64, 128, 256])
+        assert 1.0 < fit.exponent < 2.0
+
+    def test_needs_two_counts(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        with pytest.raises(InvalidParameterError):
+            isoefficiency_exponent(bus, TEMPLATE, SQUARE, [8])
+
+    def test_problem_sizes_monotone(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        fit = isoefficiency_exponent(bus, TEMPLATE, SQUARE, PROCS)
+        sizes = list(fit.problem_sizes)
+        assert sizes == sorted(sizes)

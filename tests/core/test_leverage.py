@@ -1,0 +1,86 @@
+"""Hardware-leverage factors (Section 6.1's closed-form expectations)."""
+
+import math
+
+import pytest
+
+from repro.core.leverage import leverage_factor, leverage_report
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+@pytest.fixture
+def bus():
+    return SynchronousBus(b=6.1e-6, c=0.0)
+
+
+@pytest.fixture
+def big():
+    return Workload(n=4096, stencil=FIVE_POINT)
+
+
+class TestPaperFactors:
+    def test_strip_bus_doubling(self, bus, big):
+        assert leverage_factor(bus, big, STRIP, "b") == pytest.approx(
+            1 / math.sqrt(2), rel=1e-9
+        )
+
+    def test_strip_flop_doubling(self, bus, big):
+        assert leverage_factor(bus, big, STRIP, "t_flop") == pytest.approx(
+            1 / math.sqrt(2), rel=1e-9
+        )
+
+    def test_square_bus_doubling_is_63_percent(self, bus, big):
+        assert leverage_factor(bus, big, SQUARE, "b") == pytest.approx(
+            0.5 ** (2 / 3), rel=1e-9
+        )
+
+    def test_square_flop_doubling_is_79_percent(self, bus, big):
+        assert leverage_factor(bus, big, SQUARE, "t_flop") == pytest.approx(
+            0.5 ** (1 / 3), rel=1e-9
+        )
+
+
+class TestCDominance:
+    def test_bus_speed_useless_when_c_dominates(self):
+        heavy = SynchronousBus(b=0.5e-6, c=500e-6)
+        w = Workload(n=1024, stencil=FIVE_POINT)
+        factor_b = leverage_factor(heavy, w, STRIP, "b")
+        factor_c = leverage_factor(heavy, w, STRIP, "c")
+        assert factor_b > 0.95  # barely helps
+        assert factor_c < factor_b  # c is the lever
+
+
+class TestGenericMachines:
+    def test_hypercube_beta_leverage(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-3, packet_words=16)
+        w = Workload(n=256, stencil=FIVE_POINT)
+        factor = leverage_factor(cube, w, SQUARE, "beta", max_processors=256)
+        assert 0.5 < factor < 1.0
+
+    def test_unknown_parameter_raises(self, bus, big):
+        with pytest.raises(InvalidParameterError, match="no tunable"):
+            leverage_factor(bus, big, STRIP, "alpha")
+
+    def test_nonpositive_factor_rejected(self, bus, big):
+        with pytest.raises(InvalidParameterError):
+            leverage_factor(bus, big, STRIP, "b", factor=0.0)
+
+
+class TestReport:
+    def test_report_skips_missing_and_zero_parameters(self, bus, big):
+        report = leverage_report(bus, big, STRIP)
+        # c == 0 on this bus: speeding it up is skipped; alpha not a field.
+        assert set(report.factors) == {"b", "t_flop"}
+        assert report.baseline_cycle_time > 0
+
+    def test_report_values_below_one(self, bus, big):
+        report = leverage_report(bus, big, SQUARE)
+        assert all(0 < f < 1 for f in report.factors.values())

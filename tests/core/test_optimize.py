@@ -1,0 +1,92 @@
+"""Numeric optimization utilities: golden section, bracketing, convexity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimize import (
+    bracketing_integers,
+    brute_force_minimize,
+    golden_section_minimize,
+    is_discretely_convex,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestGoldenSection:
+    def test_parabola(self):
+        res = golden_section_minimize(lambda x: (x - 3.0) ** 2, 0.0, 10.0)
+        assert res.x == pytest.approx(3.0, abs=1e-6)
+        assert res.value == pytest.approx(0.0, abs=1e-10)
+
+    def test_boundary_minimum_left(self):
+        res = golden_section_minimize(lambda x: x, 2.0, 5.0)
+        assert res.x == pytest.approx(2.0)
+
+    def test_boundary_minimum_right(self):
+        res = golden_section_minimize(lambda x: -x, 2.0, 5.0)
+        assert res.x == pytest.approx(5.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(InvalidParameterError):
+            golden_section_minimize(lambda x: x, 5.0, 2.0)
+
+    @given(
+        center=st.floats(min_value=-50, max_value=50),
+        scale=st.floats(min_value=0.1, max_value=10),
+    )
+    @settings(max_examples=40)
+    def test_convex_property(self, center, scale):
+        """For f convex the result is within tolerance of the true optimum."""
+        f = lambda x: scale * (x - center) ** 2 + 1.0
+        res = golden_section_minimize(f, -100.0, 100.0)
+        assert f(res.x) <= f(center) + 1e-6 * scale * 100
+
+
+class TestBruteForce:
+    def test_picks_minimum(self):
+        res = brute_force_minimize(lambda x: abs(x - 4.2), [1.0, 4.0, 5.0])
+        assert res.x == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_minimize(lambda x: x, [])
+
+
+class TestBracketing:
+    def test_interior_value(self):
+        assert bracketing_integers(4.3, 1, 10) == [4, 5]
+
+    def test_exact_integer(self):
+        assert bracketing_integers(7.0, 1, 10) == [7]
+
+    def test_clamped_low(self):
+        assert bracketing_integers(0.2, 1, 10) == [1]
+
+    def test_clamped_high(self):
+        assert bracketing_integers(99.5, 1, 10) == [10]
+
+    def test_empty_range(self):
+        with pytest.raises(InvalidParameterError):
+            bracketing_integers(3.0, 5, 4)
+
+
+class TestConvexityCheck:
+    def test_convex_curve_passes(self):
+        xs = [float(i) for i in range(50)]
+        assert is_discretely_convex([x * x for x in xs])
+
+    def test_concave_curve_fails(self):
+        xs = [float(i + 1) for i in range(50)]
+        assert not is_discretely_convex([math.sqrt(x) * 100 for x in xs])
+
+    def test_short_sequences_trivially_convex(self):
+        assert is_discretely_convex([1.0, 2.0])
+        assert is_discretely_convex([])
+
+    def test_tolerates_noise_within_rel_tol(self):
+        values = [x * x for x in range(20)]
+        values[10] -= 1e-12
+        assert is_discretely_convex(values, rel_tol=1e-9)

@@ -1,0 +1,61 @@
+"""Workload parameter validation and derived quantities."""
+
+import pytest
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.stencils.library import FIVE_POINT, NINE_POINT_STAR
+from repro.stencils.perimeter import PartitionKind
+
+
+class TestValidation:
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(n=0, stencil=FIVE_POINT)
+
+    def test_rejects_nonpositive_flop_time(self):
+        with pytest.raises(InvalidParameterError):
+            Workload(n=8, stencil=FIVE_POINT, t_flop=0.0)
+
+
+class TestDerived:
+    def test_grid_points(self):
+        assert Workload(n=17, stencil=FIVE_POINT).grid_points == 289
+
+    def test_compute_time_is_eat(self):
+        w = Workload(n=8, stencil=FIVE_POINT, t_flop=2e-6)
+        assert w.compute_time(10.0) == pytest.approx(5 * 10 * 2e-6)
+
+    def test_compute_time_rejects_nonpositive_area(self):
+        w = Workload(n=8, stencil=FIVE_POINT)
+        with pytest.raises(InvalidParameterError):
+            w.compute_time(0.0)
+
+    def test_serial_time_uses_whole_grid(self):
+        w = Workload(n=8, stencil=FIVE_POINT)
+        assert w.serial_time() == pytest.approx(w.compute_time(64))
+
+    def test_k_dispatches_on_kind(self):
+        w = Workload(n=8, stencil=NINE_POINT_STAR)
+        assert w.k(PartitionKind.STRIP) == 2
+        assert w.k(PartitionKind.SQUARE) == 2
+
+
+class TestVariants:
+    def test_with_n(self):
+        w = Workload(n=8, stencil=FIVE_POINT)
+        assert w.with_n(16).n == 16
+        assert w.with_n(16).stencil is FIVE_POINT
+
+    def test_with_stencil(self):
+        w = Workload(n=8, stencil=FIVE_POINT)
+        assert w.with_stencil(NINE_POINT_STAR).stencil is NINE_POINT_STAR
+
+    def test_with_t_flop(self):
+        w = Workload(n=8, stencil=FIVE_POINT)
+        assert w.with_t_flop(3e-6).t_flop == 3e-6
+
+    def test_workload_is_frozen(self):
+        w = Workload(n=8, stencil=FIVE_POINT)
+        with pytest.raises(Exception):
+            w.n = 9  # type: ignore[misc]

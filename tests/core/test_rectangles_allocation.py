@@ -1,0 +1,46 @@
+"""Working-rectangle-constrained allocation: realizable near the ideal."""
+
+import pytest
+
+from repro.core.parameters import Workload
+from repro.core.rectangles_allocation import optimize_with_working_rectangles
+from repro.errors import InvalidParameterError
+from repro.machines.bus import SynchronousBus
+from repro.machines.catalog import PAPER_BUS
+from repro.stencils.library import FIVE_POINT
+
+
+class TestRealizableOptimum:
+    def test_overhead_is_small(self):
+        """Figure 6's promise: costs 'not far different' from achievable."""
+        for n in (128, 256, 512):
+            w = Workload(n=n, stencil=FIVE_POINT)
+            res = optimize_with_working_rectangles(PAPER_BUS, w)
+            assert 0.0 <= res.relative_overhead < 0.05
+
+    def test_rectangle_tiles_grid(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        res = optimize_with_working_rectangles(PAPER_BUS, w)
+        assert 256 % res.rectangle.width == 0
+        assert res.rectangle.perimeter_excess() <= 0.05
+
+    def test_speedup_consistent(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        res = optimize_with_working_rectangles(PAPER_BUS, w)
+        assert res.speedup == pytest.approx(w.serial_time() / res.cycle_time)
+
+    def test_processor_cap_respected(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        res = optimize_with_working_rectangles(PAPER_BUS, w, max_processors=8)
+        assert res.processors <= 8 + 1e-9
+
+    def test_neighbourhood_validation(self):
+        w = Workload(n=64, stencil=FIVE_POINT)
+        with pytest.raises(InvalidParameterError):
+            optimize_with_working_rectangles(PAPER_BUS, w, neighbourhood=-1)
+
+    def test_wider_neighbourhood_never_worse(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        narrow = optimize_with_working_rectangles(PAPER_BUS, w, neighbourhood=0)
+        wide = optimize_with_working_rectangles(PAPER_BUS, w, neighbourhood=8)
+        assert wide.cycle_time <= narrow.cycle_time + 1e-18

@@ -1,0 +1,113 @@
+"""Scaling laws: Table I exponents, scaled speedup, exponent fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Workload
+from repro.core.scaling import (
+    fit_scaling_exponent,
+    optimal_speedup_sweep,
+    scaled_speedup_banyan,
+    scaled_speedup_hypercube,
+    table1_optimal_speedup,
+)
+from repro.errors import InvalidParameterError
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+GRIDS = [2**i for i in range(8, 14)]
+
+
+class TestExponentFit:
+    def test_pure_power_law_recovered(self):
+        n2 = np.array([10.0, 100.0, 1000.0, 10000.0])
+        fit = fit_scaling_exponent(n2, 3.0 * n2**0.37)
+        assert fit.exponent == pytest.approx(0.37, abs=1e-12)
+        assert fit.residual == pytest.approx(0.0, abs=1e-20)
+
+    def test_needs_two_points(self):
+        with pytest.raises(InvalidParameterError):
+            fit_scaling_exponent([4.0], [2.0])
+
+
+class TestTableIExponents:
+    """The paper's Table I growth laws, recovered numerically."""
+
+    def test_sync_bus_squares_one_third(self):
+        w = Workload(n=16, stencil=FIVE_POINT)
+        n2, sp = optimal_speedup_sweep(
+            SynchronousBus(b=6.1e-6, c=0.0), w, PartitionKind.SQUARE, GRIDS
+        )
+        assert fit_scaling_exponent(n2, sp).exponent == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_sync_bus_strips_one_quarter(self):
+        w = Workload(n=16, stencil=FIVE_POINT)
+        n2, sp = optimal_speedup_sweep(
+            SynchronousBus(b=6.1e-6, c=0.0), w, PartitionKind.STRIP, GRIDS
+        )
+        assert fit_scaling_exponent(n2, sp).exponent == pytest.approx(1 / 4, abs=1e-6)
+
+    def test_async_bus_same_exponents(self):
+        w = Workload(n=16, stencil=FIVE_POINT)
+        bus = AsynchronousBus(b=6.1e-6, c=0.0)
+        n2, sq = optimal_speedup_sweep(bus, w, PartitionKind.SQUARE, GRIDS)
+        _, st = optimal_speedup_sweep(bus, w, PartitionKind.STRIP, GRIDS)
+        assert fit_scaling_exponent(n2, sq).exponent == pytest.approx(1 / 3, abs=1e-6)
+        assert fit_scaling_exponent(n2, st).exponent == pytest.approx(1 / 4, abs=1e-6)
+
+    def test_hypercube_linear(self):
+        w = Workload(n=16, stencil=FIVE_POINT)
+        cube = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        n2, sp = optimal_speedup_sweep(cube, w, PartitionKind.SQUARE, GRIDS)
+        assert fit_scaling_exponent(n2, sp).exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_banyan_just_below_linear(self):
+        w = Workload(n=16, stencil=FIVE_POINT)
+        net = BanyanNetwork(w=2e-7)
+        n2, sp = optimal_speedup_sweep(net, w, PartitionKind.SQUARE, GRIDS)
+        exp = fit_scaling_exponent(n2, sp).exponent
+        assert 0.85 < exp < 1.0  # n²/log n: strictly sublinear
+
+
+class TestScaledSpeedup:
+    def test_hypercube_exactly_linear_in_n2(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        s1 = scaled_speedup_hypercube(cube, FIVE_POINT, 1e-6, 128, 64.0)
+        s2 = scaled_speedup_hypercube(cube, FIVE_POINT, 1e-6, 256, 64.0)
+        assert s2 / s1 == pytest.approx(4.0, rel=1e-12)
+
+    def test_banyan_pays_log_factor(self):
+        net = BanyanNetwork(w=2e-7)
+        cube_like = scaled_speedup_banyan(net, FIVE_POINT, 1e-6, 256, 64.0)
+        bigger = scaled_speedup_banyan(net, FIVE_POINT, 1e-6, 512, 64.0)
+        # Sublinear: less than 4x for a 4x problem growth.
+        assert 1.0 < bigger / cube_like < 4.0
+
+    def test_validation(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-5)
+        with pytest.raises(InvalidParameterError):
+            scaled_speedup_hypercube(cube, FIVE_POINT, 1e-6, 128, 0.0)
+        with pytest.raises(InvalidParameterError):
+            scaled_speedup_banyan(BanyanNetwork(w=1e-7), FIVE_POINT, 1e-6, 4, 64.0)
+
+
+class TestTable1Helper:
+    def test_monotone_machines_use_one_point_per_processor(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        expected = w.serial_time() / cube.cycle_time(w, PartitionKind.SQUARE, 1.0)
+        assert table1_optimal_speedup(cube, w) == pytest.approx(expected)
+
+    def test_bus_uses_interior_optimum(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=1024, stencil=FIVE_POINT)
+        from repro.core.speedup import optimal_speedup
+
+        assert table1_optimal_speedup(bus, w) == pytest.approx(
+            optimal_speedup(bus, w, PartitionKind.SQUARE).speedup
+        )

@@ -1,0 +1,73 @@
+"""Elasticities of the optimized cycle time."""
+
+import pytest
+
+from repro.core.parameters import Workload
+from repro.core.sensitivity import elasticity, elasticity_profile
+from repro.errors import InvalidParameterError
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.bus import SynchronousBus
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+@pytest.fixture
+def bus():
+    return SynchronousBus(b=6.1e-6, c=0.0)
+
+
+@pytest.fixture
+def big():
+    return Workload(n=8192, stencil=FIVE_POINT)
+
+
+class TestClosedFormElasticities:
+    def test_strip_halves(self, bus, big):
+        assert elasticity(bus, big, STRIP, "b") == pytest.approx(0.5, abs=1e-4)
+        assert elasticity(bus, big, STRIP, "t_flop") == pytest.approx(0.5, abs=1e-4)
+
+    def test_square_two_thirds_one_third(self, bus, big):
+        assert elasticity(bus, big, SQUARE, "b") == pytest.approx(2 / 3, abs=1e-4)
+        assert elasticity(bus, big, SQUARE, "t_flop") == pytest.approx(
+            1 / 3, abs=1e-4
+        )
+
+    def test_consistent_with_leverage_doubling(self, bus, big):
+        """ε ≈ log2(1/leverage-factor) for a pure power law."""
+        import math
+
+        from repro.core.leverage import leverage_factor
+
+        eps = elasticity(bus, big, SQUARE, "b")
+        factor = leverage_factor(bus, big, SQUARE, "b")
+        assert eps == pytest.approx(-math.log2(factor), abs=1e-3)
+
+
+class TestHomogeneity:
+    def test_bus_elasticities_sum_to_one(self, big):
+        """t* is degree-1 homogeneous in (b, c, T_fp)."""
+        bus = SynchronousBus(b=6.1e-6, c=2e-6)
+        profile = elasticity_profile(bus, big, STRIP)
+        assert profile.total() == pytest.approx(1.0, abs=1e-3)
+
+    def test_banyan_homogeneity(self, big):
+        net = BanyanNetwork(w=2e-7)
+        profile = elasticity_profile(net, big, SQUARE)
+        assert profile.total() == pytest.approx(1.0, abs=1e-3)
+
+    def test_dominant_parameter_squares_is_bus(self, bus, big):
+        profile = elasticity_profile(bus, big, SQUARE)
+        assert profile.dominant() == "b"
+
+
+class TestValidation:
+    def test_step_bounds(self, bus, big):
+        with pytest.raises(InvalidParameterError):
+            elasticity(bus, big, STRIP, "b", step=0.6)
+
+    def test_unknown_parameter(self, bus, big):
+        with pytest.raises(InvalidParameterError):
+            elasticity(bus, big, STRIP, "alpha")

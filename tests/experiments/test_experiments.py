@@ -1,0 +1,188 @@
+"""Integration tests: every experiment runs and reproduces its anchors.
+
+These are the repo's paper-facing acceptance tests — each asserts the
+*shape* results the reproduction promises in EXPERIMENTS.md (who wins,
+by what law, where thresholds sit), not absolute times.
+"""
+
+import math
+
+import pytest
+
+import repro.experiments  # noqa: F401 — registers everything
+from repro.experiments.registry import all_experiments, get_experiment
+
+
+class TestAllRun:
+    @pytest.mark.parametrize("exp_id", sorted(all_experiments()))
+    def test_runs_and_renders(self, exp_id):
+        if exp_id.startswith("E-TEST"):
+            pytest.skip("registry-test fixture entry")
+        result = get_experiment(exp_id)()
+        assert result.experiment_id == exp_id
+        assert result.tables, f"{exp_id} produced no tables"
+        assert result.render()
+
+
+class TestKTable:
+    def test_paper_k_values(self):
+        result = get_experiment("E-KTAB")()
+        rows = {(r[0], r[1]): r[2] for r in result.table("k values").rows}
+        assert rows[("strip", "5-point")] == 1
+        assert rows[("square", "9-point-star")] == 2
+        assert rows[("strip", "13-point")] == 2
+
+
+class TestFigure6:
+    def test_error_bounds(self):
+        result = get_experiment("E-FIG6")()
+        for row in result.table("summary").rows:
+            frac_area_ok = row[4]
+            frac_perim_ok = row[7]
+            assert frac_area_ok >= 0.85
+            assert frac_perim_ok >= 0.85
+
+
+class TestFigure7:
+    def test_anchor_row(self):
+        result = get_experiment("E-FIG7")()
+        anchor = result.table(
+            "Section 6.1 anchor: max useful processors on 256x256 squares"
+        )
+        computed = anchor.column("computed")
+        assert computed[0] == pytest.approx(14.0, abs=0.2)
+        assert computed[1] == pytest.approx(22.2, abs=0.3)
+
+    def test_no_numeric_disagreement_warnings(self):
+        result = get_experiment("E-FIG7")()
+        assert not [n for n in result.notes if n.startswith("WARNING")]
+
+    def test_strips_require_larger_problems(self):
+        result = get_experiment("E-FIG7")()
+        table = result.table("log2(n^2_min) — 5-point")
+        sync_strip = table.column("(a) sync strip")
+        sync_square = table.column("(c) sync square")
+        assert all(st >= sq for st, sq in zip(sync_strip, sync_square))
+
+
+class TestFigure8:
+    def test_exponents(self):
+        result = get_experiment("E-FIG8")()
+        for stencil in ("5-point", "9-point-box"):
+            fits = {
+                row[0]: row[1]
+                for row in result.table(
+                    f"fitted speedup exponents — {stencil}"
+                ).rows
+            }
+            assert fits["squares"] == pytest.approx(1 / 3, abs=1e-3)
+            assert fits["strips"] == pytest.approx(1 / 4, abs=1e-3)
+
+    def test_squares_always_beat_strips(self):
+        result = get_experiment("E-FIG8")()
+        table = result.table("curves — 5-point")
+        sq = table.column("speedup (squares)")
+        st = table.column("speedup (strips)")
+        assert all(a > b for a, b in zip(sq, st))
+
+
+class TestTable1:
+    def test_growth_exponents(self):
+        result = get_experiment("E-TAB1")()
+        fits = {row[0]: row[1] for row in result.table("fitted growth exponents").rows}
+        assert fits["hypercube"] == pytest.approx(1.0, abs=1e-6)
+        assert fits["mesh"] == pytest.approx(1.0, abs=1e-6)
+        assert 0.85 < fits["switching network"] < 1.0
+        assert fits["synchronous bus"] == pytest.approx(1 / 3, abs=1e-3)
+        assert fits["asynchronous bus"] == pytest.approx(1 / 3, abs=1e-3)
+
+    def test_async_sync_ratios(self):
+        result = get_experiment("E-TAB1")()
+        rows = {r[0]: r[1] for r in result.table("async/sync optimal-speedup ratios").rows}
+        assert rows["squares"] == pytest.approx(1.5, rel=1e-6)
+        assert rows["strips"] == pytest.approx(math.sqrt(2), rel=1e-6)
+
+    def test_architecture_ordering_at_large_n(self):
+        """Networks crush buses; async beats sync.  Hypercube-vs-banyan
+        absolute ordering is parameter-dependent (Section 7: 'the true
+        difference … will not depend on the log factor, but on the
+        relative speeds of the communication networks'), so only the
+        bus relations are asserted pointwise."""
+        result = get_experiment("E-TAB1")()
+        table = result.table("optimal speedup vs grid size (square partitions)")
+        last = table.rows[-1]
+        headers = table.headers
+        val = dict(zip(headers, last))
+        assert val["hypercube"] > 100 * val["asynchronous bus"]
+        assert val["switching network"] > 100 * val["asynchronous bus"]
+        assert val["asynchronous bus"] > val["synchronous bus"]
+        assert val["mesh"] == pytest.approx(val["hypercube"])
+
+
+class TestInText:
+    def test_squares_beat_strips_in_every_accounting(self):
+        result = get_experiment("E-TEXT1")()
+        for row in result.table("speedup at N=16").rows:
+            _, st_rw, sq_rw, st_ro, sq_ro, st_paper, sq_paper = row
+            assert sq_rw > st_rw
+            assert sq_ro > st_ro
+            assert sq_paper > st_paper
+
+    def test_paper_printed_values(self):
+        result = get_experiment("E-TEXT1")()
+        rows = {r[0]: r for r in result.table("speedup at N=16").rows}
+        # Paper: strips 16/(1+512/n), squares 16/(1+128/n).
+        assert rows[1024][5] == pytest.approx(10.67, abs=0.01)
+        assert rows[256][6] == pytest.approx(10.67, abs=0.01)
+        assert rows[1024][6] == pytest.approx(14.2, abs=0.05)
+
+    def test_flex32_always_all_processors(self):
+        result = get_experiment("E-TEXT2")()
+        table = result.table("FLEX/32-style bus (c/b = 1000) allocations")
+        for row in table.rows:
+            assert row[3] in ("all", "one")
+            assert row[3] != "interior"
+
+    def test_leverage_factors(self):
+        result = get_experiment("E-TEXT3")()
+        table = result.table("cycle-time factor after 2x speedup of one component")
+        for row in table.rows:
+            assert row[2] == pytest.approx(row[3], rel=1e-6)
+
+    def test_async_factors(self):
+        result = get_experiment("E-TEXT4")()
+        for row in result.table("async/sync ratios").rows:
+            assert row[1] == pytest.approx(math.sqrt(2), rel=1e-6)
+            assert row[2] == pytest.approx(1.5, rel=1e-6)
+
+
+class TestScaledAndExtremal:
+    def test_hypercube_linearity_spread_is_zero(self):
+        result = get_experiment("E-SCAL")()
+        spread = result.table("hypercube speedup / n² (constant = exactly linear)")
+        assert spread.rows[0][2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_all_extremal(self):
+        result = get_experiment("E-EXTREME")()
+        table = result.table("best processor count over P in [1, 64], n=64 squares")
+        assert all(row[2] == "yes" for row in table.rows)
+
+
+class TestSimulationValidation:
+    def test_rankings_agree_everywhere(self):
+        result = get_experiment("E-SIMVAL")()
+        table = result.table("validation summary")
+        agrees = table.column("ranking agrees")
+        best_model = table.column("best P (model)")
+        best_sim = table.column("best P (sim)")
+        # Rankings must agree, or disagree only between adjacent sweep
+        # points (flat optimum region).
+        for ok, bm, bs in zip(agrees, best_model, best_sim):
+            if ok != "yes":
+                assert max(bm, bs) <= 2 * min(bm, bs)
+
+    def test_bus_model_is_upper_envelope(self):
+        result = get_experiment("E-SIMVAL")()
+        summary = result.table("validation summary")
+        for row in summary.rows:
+            assert row[2] <= 0.02  # mean relative error <= 0 (+ tolerance)

@@ -1,0 +1,85 @@
+"""Experiment infrastructure: tables, registry, rendering, CSV output."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    ExperimentTable,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+
+class TestTables:
+    def test_column_extraction(self):
+        t = ExperimentTable(name="t", headers=("a", "b"), rows=((1, 2), (3, 4)))
+        assert t.column("b") == [2, 4]
+
+    def test_missing_column_raises(self):
+        t = ExperimentTable(name="t", headers=("a",), rows=((1,),))
+        with pytest.raises(ExperimentError, match="no column"):
+            t.column("z")
+
+    def test_add_and_get_table(self):
+        r = ExperimentResult(experiment_id="X", title="x")
+        r.add_table("one", ["h"], [[1]])
+        assert r.table("one").rows == ((1,),)
+        with pytest.raises(ExperimentError, match="no table"):
+            r.table("two")
+
+
+class TestRender:
+    def test_render_contains_id_tables_notes(self):
+        r = ExperimentResult(experiment_id="E-X", title="demo")
+        r.add_table("numbers", ["n"], [[42]])
+        r.notes.append("a note")
+        out = r.render()
+        assert "[E-X] demo" in out
+        assert "42" in out
+        assert "note: a note" in out
+
+    def test_csv_files_written(self, tmp_path):
+        r = ExperimentResult(experiment_id="E-X", title="demo")
+        r.add_table("my table", ["n"], [[1]])
+        paths = r.write_csvs(tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name == "e-x_my_table.csv"
+
+
+class TestRegistry:
+    def test_known_experiments_registered(self):
+        import repro.experiments  # noqa: F401 — populates registry
+
+        ids = set(all_experiments())
+        assert {
+            "E-KTAB",
+            "E-FIG6",
+            "E-FIG7",
+            "E-FIG8",
+            "E-TAB1",
+            "E-TEXT1",
+            "E-TEXT2",
+            "E-TEXT3",
+            "E-TEXT4",
+            "E-SCAL",
+            "E-EXTREME",
+            "E-SIMVAL",
+            "E-SOLVE",
+        } <= ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            get_experiment("E-NOPE")
+
+    def test_duplicate_registration_rejected(self):
+        @register("E-TEST-DUP")
+        def one():  # pragma: no cover
+            return ExperimentResult("E-TEST-DUP", "x")
+
+        with pytest.raises(ExperimentError, match="duplicate"):
+
+            @register("E-TEST-DUP")
+            def two():  # pragma: no cover
+                return ExperimentResult("E-TEST-DUP", "x")

@@ -1,0 +1,72 @@
+"""Banyan network model: log-stage reads, Section-7 cycle times."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.banyan import BanyanNetwork
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+class TestValidation:
+    def test_rejects_nonpositive_switch_time(self):
+        with pytest.raises(InvalidParameterError):
+            BanyanNetwork(w=0.0)
+
+
+class TestStages:
+    def test_log_growth(self):
+        net = BanyanNetwork(w=1e-7)
+        assert net.stages(2.0) == pytest.approx(1.0)
+        assert net.stages(64.0) == pytest.approx(6.0)
+
+    def test_single_processor_has_no_stages(self):
+        net = BanyanNetwork(w=1e-7)
+        assert net.stages(1.0) == 0.0
+
+    def test_read_word_time_is_two_traversals(self):
+        net = BanyanNetwork(w=1e-7)
+        assert net.read_word_time(16.0) == pytest.approx(2 * 1e-7 * 4)
+
+
+class TestCycleTime:
+    def test_strip_formula(self):
+        """t = 4·k·n·w·log2(N) + E·A·T (Section 7)."""
+        net = BanyanNetwork(w=1e-7)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        area = 256.0
+        n_procs = w.grid_points / area
+        expected = 4 * 1 * 64 * 1e-7 * math.log2(n_procs) + 5 * area * 1e-6
+        assert net.cycle_time(w, STRIP, area) == pytest.approx(expected)
+
+    def test_square_formula(self):
+        """t = 8·k·s·w·log2(N) + E·s²·T (Section 7)."""
+        net = BanyanNetwork(w=1e-7)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        s = 8.0
+        n_procs = w.grid_points / (s * s)
+        expected = 8 * 1 * s * 1e-7 * math.log2(n_procs) + 5 * s * s * 1e-6
+        assert net.cycle_time(w, SQUARE, s * s) == pytest.approx(expected)
+
+    def test_extremal_allocation_for_realistic_parameters(self):
+        """All-processors wins over any interior point (paper's claim)."""
+        net = BanyanNetwork(w=2e-7)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        procs = np.arange(2, w.grid_points + 1, 7, dtype=float)
+        times = [net.cycle_time(w, SQUARE, w.grid_points / p) for p in procs]
+        assert int(np.argmin(times)) == len(times) - 1
+
+    def test_vectorized_evaluation(self):
+        net = BanyanNetwork(w=2e-7)
+        w = Workload(n=32, stencil=FIVE_POINT)
+        areas = np.array([4.0, 16.0, 64.0])
+        times = net.cycle_time(w, SQUARE, areas)
+        for a, t in zip(areas, times):
+            assert t == pytest.approx(net.cycle_time(w, SQUARE, float(a)))

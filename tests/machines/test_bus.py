@@ -1,0 +1,187 @@
+"""Bus models: the paper's equations (2)-(7), closed forms vs numerics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimize import golden_section_minimize, is_discretely_convex
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.stencils.library import FIVE_POINT, NINE_POINT_STAR
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            SynchronousBus(b=0.0)
+        with pytest.raises(InvalidParameterError):
+            SynchronousBus(b=1e-6, c=-1.0)
+        with pytest.raises(InvalidParameterError):
+            SynchronousBus(b=1e-6, volume_mode="telepathy")
+
+
+class TestSyncEquations:
+    """Equation (2): t_cycle = E·A·T + 4·k·b·n³/A + 4·k·c·n (strips, rw)."""
+
+    def test_strip_cycle_time_formula(self):
+        bus = SynchronousBus(b=2e-6, c=3e-6)
+        w = Workload(n=64, stencil=FIVE_POINT, t_flop=1e-6)
+        area = 512.0
+        expected = (
+            5 * area * 1e-6
+            + 4 * 1 * 2e-6 * 64**3 / area
+            + 4 * 1 * 3e-6 * 64
+        )
+        assert bus.cycle_time(w, STRIP, area) == pytest.approx(expected, rel=1e-12)
+
+    def test_square_cycle_time_formula(self):
+        bus = SynchronousBus(b=2e-6, c=3e-6)
+        w = Workload(n=64, stencil=FIVE_POINT, t_flop=1e-6)
+        s = 16.0
+        expected = (
+            5 * s * s * 1e-6
+            + 8 * 1 * 2e-6 * 64**2 / s
+            + 8 * 1 * 3e-6 * s
+        )
+        assert bus.cycle_time(w, SQUARE, s * s) == pytest.approx(expected, rel=1e-12)
+
+    def test_read_only_mode_halves_communication(self):
+        rw = SynchronousBus(b=2e-6, c=0.0)
+        ro = SynchronousBus(b=2e-6, c=0.0, volume_mode="read_only")
+        w = Workload(n=64, stencil=FIVE_POINT)
+        area = 512.0
+        comp = w.compute_time(area)
+        assert ro.cycle_time(w, STRIP, area) - comp == pytest.approx(
+            (rw.cycle_time(w, STRIP, area) - comp) / 2.0
+        )
+
+    def test_k_two_stencil_doubles_communication(self):
+        bus = SynchronousBus(b=2e-6, c=0.0)
+        w1 = Workload(n=64, stencil=FIVE_POINT)
+        w2 = Workload(n=64, stencil=NINE_POINT_STAR.with_flops(5.0))
+        area = 512.0
+        comm1 = bus.cycle_time(w1, STRIP, area) - w1.compute_time(area)
+        comm2 = bus.cycle_time(w2, STRIP, area) - w2.compute_time(area)
+        assert comm2 == pytest.approx(2 * comm1)
+
+
+class TestSyncOptima:
+    @given(
+        b=st.floats(min_value=1e-7, max_value=1e-4),
+        n_exp=st.integers(min_value=6, max_value=11),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_strip_closed_form_matches_golden_section(self, b, n_exp):
+        bus = SynchronousBus(b=b, c=0.0)
+        w = Workload(n=2**n_exp, stencil=FIVE_POINT)
+        a_star = bus.optimal_strip_area(w)
+        numeric = golden_section_minimize(
+            lambda a: bus.cycle_time(w, STRIP, a), 1.0, float(w.grid_points), tol=1e-12
+        )
+        if 1.0 < a_star < w.grid_points:
+            assert numeric.x == pytest.approx(a_star, rel=1e-3)
+
+    @given(
+        b=st.floats(min_value=1e-7, max_value=1e-4),
+        c=st.floats(min_value=0.0, max_value=1e-4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_square_cubic_root_minimizes(self, b, c):
+        bus = SynchronousBus(b=b, c=c)
+        w = Workload(n=512, stencil=FIVE_POINT)
+        s_hat = bus.optimal_square_side(w)
+        a_hat = s_hat * s_hat
+        if not 1.0 < a_hat < w.grid_points:
+            return
+        t_opt = bus.cycle_time(w, SQUARE, a_hat)
+        for factor in (0.9, 1.1):
+            a_near = a_hat * factor
+            if 1.0 < a_near < w.grid_points:
+                assert bus.cycle_time(w, SQUARE, a_near) >= t_opt - 1e-18
+
+    def test_c_does_not_move_strip_optimum(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        a0 = SynchronousBus(b=2e-6, c=0.0).optimal_strip_area(w)
+        a1 = SynchronousBus(b=2e-6, c=1e-3).optimal_strip_area(w)
+        assert a0 == a1
+
+    def test_convexity_on_admissible_range(self):
+        bus = SynchronousBus(b=6.1e-6, c=1e-6)
+        w = Workload(n=128, stencil=FIVE_POINT)
+        areas = np.linspace(16, w.grid_points, 400)
+        times = [bus.cycle_time(w, SQUARE, a) for a in areas]
+        assert is_discretely_convex(times, rel_tol=1e-9)
+
+
+class TestAsyncEquations:
+    """Equation (7): t = t_read + max(t_comp, b·B_total)."""
+
+    def test_cycle_is_max_structure(self):
+        bus = AsynchronousBus(b=2e-6, c=0.0)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        area = 512.0
+        read = bus.read_time(w, STRIP, area)
+        comp = w.compute_time(area)
+        backlog = bus.write_backlog_time(w, STRIP, area)
+        assert bus.cycle_time(w, STRIP, area) == pytest.approx(
+            read + max(comp, backlog)
+        )
+
+    def test_read_time_is_half_sync_ta(self):
+        sync = SynchronousBus(b=2e-6, c=3e-6)
+        asyn = AsynchronousBus(b=2e-6, c=3e-6)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        area = 512.0
+        sync_ta = sync.cycle_time(w, STRIP, area) - w.compute_time(area)
+        assert asyn.read_time(w, STRIP, area) == pytest.approx(sync_ta / 2.0)
+
+    def test_strip_area_ratio_is_sqrt2(self):
+        sync = SynchronousBus(b=2e-6, c=0.0)
+        asyn = AsynchronousBus(b=2e-6, c=0.0)
+        w = Workload(n=256, stencil=FIVE_POINT)
+        ratio = sync.optimal_strip_area(w) / asyn.optimal_strip_area(w)
+        assert ratio == pytest.approx(math.sqrt(2.0))
+
+    def test_square_side_identical_to_sync(self):
+        sync = SynchronousBus(b=2e-6, c=0.0)
+        asyn = AsynchronousBus(b=2e-6, c=0.0)
+        w = Workload(n=256, stencil=FIVE_POINT)
+        assert asyn.optimal_square_side(w) == pytest.approx(
+            sync.optimal_square_side(w)
+        )
+
+    @given(n_exp=st.integers(min_value=7, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_async_optimum_at_max_crossing(self, n_exp):
+        bus = AsynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=2**n_exp, stencil=FIVE_POINT)
+        a_star = bus.optimal_strip_area(w)
+        comp = w.compute_time(a_star)
+        backlog = bus.write_backlog_time(w, STRIP, a_star)
+        assert comp == pytest.approx(backlog, rel=1e-9)
+
+    def test_async_beats_sync_everywhere(self):
+        sync = SynchronousBus(b=6.1e-6, c=0.0)
+        asyn = AsynchronousBus(b=6.1e-6, c=0.0)
+        w = Workload(n=128, stencil=FIVE_POINT)
+        for area in (64.0, 256.0, 1024.0, 4096.0):
+            assert asyn.cycle_time(w, SQUARE, area) <= sync.cycle_time(
+                w, SQUARE, area
+            ) + 1e-18
+
+
+class TestEffectiveDelay:
+    def test_contention_grows_linearly_in_processors(self):
+        bus = SynchronousBus(b=2e-6, c=1e-6)
+        w = Workload(n=64, stencil=FIVE_POINT)
+        d1 = bus.effective_word_delay(w, w.grid_points / 4)
+        d2 = bus.effective_word_delay(w, w.grid_points / 8)
+        assert d2 - 1e-6 == pytest.approx(2 * (d1 - 1e-6))

@@ -1,0 +1,70 @@
+"""Machine presets: calibration anchors and lookup behaviour."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.minimal_size import max_useful_processors
+from repro.core.parameters import Workload
+from repro.machines.catalog import (
+    BBN_BUTTERFLY,
+    DEFAULT_MACHINES,
+    FLEX32,
+    INTEL_IPSC,
+    PAPER_BUS,
+    PAPER_BUS_ASYNC,
+    by_name,
+)
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
+from repro.stencils.perimeter import PartitionKind
+
+
+class TestCalibration:
+    def test_paper_bus_reproduces_figure7_anchor(self):
+        """256x256 squares: 14 processors (5-pt), 22 (9-pt) — Section 6.1."""
+        w5 = Workload(n=256, stencil=FIVE_POINT)
+        w9 = Workload(n=256, stencil=NINE_POINT_BOX)
+        n5 = max_useful_processors(PAPER_BUS, w5, PartitionKind.SQUARE)
+        n9 = max_useful_processors(PAPER_BUS, w9, PartitionKind.SQUARE)
+        assert int(n5) == 14
+        assert int(n9) == 22
+
+    def test_flex32_ratio(self):
+        assert FLEX32.c / FLEX32.b == pytest.approx(1000.0)
+
+    def test_sync_async_pair_share_constants(self):
+        assert PAPER_BUS.b == PAPER_BUS_ASYNC.b
+        assert PAPER_BUS.c == PAPER_BUS_ASYNC.c
+
+
+class TestLookup:
+    def test_by_name_returns_presets(self):
+        assert by_name("ipsc") is INTEL_IPSC
+        assert by_name("butterfly") is BBN_BUTTERFLY
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="flex32"):
+            by_name("cray")
+
+    def test_catalog_is_complete(self):
+        assert set(DEFAULT_MACHINES) >= {
+            "ipsc",
+            "fem",
+            "paper-bus",
+            "paper-bus-async",
+            "flex32",
+            "flex32-async",
+            "butterfly",
+            "rp3",
+        }
+
+
+class TestPresetsAreValues:
+    def test_presets_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_BUS.b = 1.0  # type: ignore[misc]
+
+    def test_replace_builds_variants(self):
+        faster = dataclasses.replace(PAPER_BUS, b=PAPER_BUS.b / 2)
+        assert faster.b == PAPER_BUS.b / 2
+        assert faster.volume_mode == PAPER_BUS.volume_mode

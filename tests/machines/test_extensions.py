@@ -1,0 +1,92 @@
+"""Fully-asynchronous bus and random-mapping hypercube extensions."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import Workload
+from repro.core.scaling import fit_scaling_exponent, optimal_speedup_sweep
+from repro.core.speedup import optimal_speedup
+from repro.machines.bus import AsynchronousBus
+from repro.machines.bus_extensions import FullyAsynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.machines.mapping import RandomMappingHypercube
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+@pytest.fixture
+def big():
+    return Workload(n=4096, stencil=FIVE_POINT)
+
+
+class TestFullyAsyncBus:
+    def test_gain_over_async_strips_is_sqrt2(self, big):
+        full = FullyAsynchronousBus(b=6.1e-6, c=0.0)
+        asyn = AsynchronousBus(b=6.1e-6, c=0.0)
+        ratio = (
+            optimal_speedup(full, big, STRIP).speedup
+            / optimal_speedup(asyn, big, STRIP).speedup
+        )
+        assert ratio == pytest.approx(math.sqrt(2.0), rel=1e-6)
+
+    def test_gain_over_async_squares_is_cbrt2(self, big):
+        """The paper's garbled '126%' = 'a 26%': ratio 2^(1/3) ≈ 1.26."""
+        full = FullyAsynchronousBus(b=6.1e-6, c=0.0)
+        asyn = AsynchronousBus(b=6.1e-6, c=0.0)
+        ratio = (
+            optimal_speedup(full, big, SQUARE).speedup
+            / optimal_speedup(asyn, big, SQUARE).speedup
+        )
+        assert ratio == pytest.approx(2.0 ** (1.0 / 3.0), rel=1e-6)
+
+    def test_exponents_unchanged(self):
+        full = FullyAsynchronousBus(b=6.1e-6, c=0.0)
+        w0 = Workload(n=16, stencil=FIVE_POINT)
+        grids = [2**i for i in range(8, 13)]
+        for kind, expected in ((STRIP, 0.25), (SQUARE, 1 / 3)):
+            n2, sp = optimal_speedup_sweep(full, w0, kind, grids)
+            assert fit_scaling_exponent(n2, sp).exponent == pytest.approx(
+                expected, abs=1e-4
+            )
+
+    def test_optimum_at_max_crossing(self, big):
+        full = FullyAsynchronousBus(b=6.1e-6, c=0.0)
+        a_star = full.optimal_strip_area(big)
+        comp_half = big.compute_time(a_star) / 2.0
+        backlog = full.read_backlog_time(big, STRIP, a_star)
+        assert comp_half == pytest.approx(backlog, rel=1e-9)
+
+    def test_never_slower_than_async(self, big):
+        full = FullyAsynchronousBus(b=6.1e-6, c=0.0)
+        asyn = AsynchronousBus(b=6.1e-6, c=0.0)
+        for area in (1e4, 1e5, 1e6):
+            assert full.cycle_time(big, SQUARE, area) <= asyn.cycle_time(
+                big, SQUARE, area
+            ) + 1e-18
+
+
+class TestRandomMapping:
+    def test_dilation_grows_with_machine(self):
+        rm = RandomMappingHypercube(alpha=1e-6, beta=1e-5)
+        assert rm.dilation(4.0) == pytest.approx(1.0)
+        assert rm.dilation(256.0) == pytest.approx(4.0)
+
+    def test_embedding_always_wins(self, big):
+        rm = RandomMappingHypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        hc = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        for area in (4.0, 64.0, 4096.0):
+            assert hc.cycle_time(big, SQUARE, area) <= rm.cycle_time(
+                big, SQUARE, area
+            ) + 1e-18
+
+    def test_random_mapping_drops_below_linear(self):
+        rm = RandomMappingHypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        w0 = Workload(n=16, stencil=FIVE_POINT)
+        grids = [2**i for i in range(8, 14)]
+        n2, sp = optimal_speedup_sweep(rm, w0, SQUARE, grids)
+        exp = fit_scaling_exponent(n2, sp).exponent
+        assert 0.8 < exp < 0.999  # banyan-like, no longer linear

@@ -1,0 +1,91 @@
+"""Hypercube model: message costs, monotonicity, packetization."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.hypercube import Hypercube
+from repro.stencils.library import FIVE_POINT, NINE_POINT_STAR
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+@pytest.fixture
+def cube():
+    return Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+
+
+class TestValidation:
+    def test_rejects_free_network(self):
+        with pytest.raises(InvalidParameterError, match="free network"):
+            Hypercube(alpha=0.0, beta=0.0)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(InvalidParameterError):
+            Hypercube(alpha=-1e-6, beta=1e-5)
+
+    def test_rejects_zero_packet(self):
+        with pytest.raises(InvalidParameterError):
+            Hypercube(alpha=1e-6, beta=1e-5, packet_words=0)
+
+
+class TestMessageTime:
+    def test_single_packet(self, cube):
+        assert cube.message_time(10) == pytest.approx(1e-6 + 1e-5)
+
+    def test_packet_rounding(self, cube):
+        # 17 words -> 2 packets
+        assert cube.message_time(17) == pytest.approx(2e-6 + 1e-5)
+
+    def test_array_input(self, cube):
+        times = cube.message_time(np.array([1.0, 16.0, 17.0]))
+        np.testing.assert_allclose(times, [1.1e-5, 1.1e-5, 1.2e-5])
+
+
+class TestEventsAndVolumes:
+    def test_strip_has_four_events(self, cube):
+        assert cube.message_events(STRIP) == 4
+
+    def test_square_has_eight_events(self, cube):
+        assert cube.message_events(SQUARE) == 8
+
+    def test_strip_volume_is_k_times_n(self, cube):
+        w = Workload(n=64, stencil=NINE_POINT_STAR)
+        assert cube.words_per_event(w, STRIP, 512.0) == pytest.approx(2 * 64)
+
+    def test_square_volume_is_k_times_side(self, cube):
+        w = Workload(n=64, stencil=FIVE_POINT)
+        assert cube.words_per_event(w, SQUARE, 256.0) == pytest.approx(16.0)
+
+
+class TestCycleTime:
+    def test_composition(self, cube):
+        w = Workload(n=64, stencil=FIVE_POINT)
+        area = 256.0
+        expected = 5 * 256 * 1e-6 + 8 * cube.message_time(16)
+        assert cube.cycle_time(w, SQUARE, area) == pytest.approx(expected)
+
+    def test_monotone_decreasing_in_processors(self, cube):
+        """Section 4: t_cycle decreases over P in [2, n^2]."""
+        w = Workload(n=32, stencil=FIVE_POINT)
+        procs = np.arange(2, 257)
+        areas = w.grid_points / procs
+        times = np.array([cube.cycle_time(w, SQUARE, a) for a in areas])
+        assert np.all(np.diff(times) <= 1e-15)
+
+    def test_one_processor_beats_all_when_network_is_terrible(self):
+        slow = Hypercube(alpha=1.0, beta=10.0)  # absurdly slow network
+        w = Workload(n=16, stencil=FIVE_POINT)
+        serial = w.serial_time()
+        spread = slow.cycle_time(w, SQUARE, 1.0)
+        assert serial < spread
+
+    def test_area_validation(self, cube):
+        w = Workload(n=16, stencil=FIVE_POINT)
+        with pytest.raises(InvalidParameterError):
+            cube.cycle_time(w, SQUARE, 0.0)
+        with pytest.raises(InvalidParameterError):
+            cube.cycle_time(w, SQUARE, 300.0)  # exceeds n^2

@@ -1,0 +1,117 @@
+"""Decomposition invariants: exact covers, neighbour graphs, halo volumes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.partitioning.decomposition import (
+    Decomposition,
+    block_grid_shape,
+    decompose_blocks,
+    decomposition_for,
+)
+from repro.partitioning.partition import Partition
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX, NINE_POINT_STAR
+
+
+class TestBlockGridShape:
+    def test_perfect_square(self):
+        assert block_grid_shape(16, 100) == (4, 4)
+
+    def test_prefers_squarest_factoring(self):
+        assert block_grid_shape(12, 100) == (3, 4)
+        assert block_grid_shape(6, 100) == (2, 3)
+
+    def test_prime_counts_become_strips(self):
+        assert block_grid_shape(7, 100) == (1, 7)
+
+    def test_respects_grid_limit(self):
+        # 8 = 2x4 fits a 4-wide grid; 1x8 does not.
+        assert block_grid_shape(8, 4) == (2, 4)
+        with pytest.raises(DecompositionError):
+            block_grid_shape(17, 4)  # 1x17 needs 17 columns
+
+
+class TestCoverInvariant:
+    @given(
+        n=st.integers(min_value=2, max_value=64),
+        p=st.integers(min_value=1, max_value=16),
+        kind=st.sampled_from(["strip", "block"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partitions_tile_disjointly(self, n, p, kind):
+        if p > n:
+            return
+        dec = decomposition_for(n, p, kind)
+        assert dec.n_processors == p
+        # Disjoint: pairwise no overlaps; cover: areas sum (checked in init).
+        parts = dec.partitions
+        for i in range(len(parts)):
+            for j in range(i + 1, len(parts)):
+                assert not parts[i].overlaps(parts[j])
+
+    def test_cover_mismatch_rejected(self):
+        with pytest.raises(DecompositionError, match="cover"):
+            Decomposition(n=4, partitions=(Partition(0, 2, 0, 4),), kind="strip")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DecompositionError, match="unknown"):
+            decomposition_for(8, 2, "hexagon")
+
+
+class TestLoadBalance:
+    def test_even_split_balanced(self):
+        dec = decomposition_for(16, 4, "block")
+        assert dec.load_imbalance() == 1.0
+
+    def test_remainder_imbalance_bounded(self):
+        dec = decomposition_for(10, 3, "strip")
+        assert 1.0 < dec.load_imbalance() <= (4 * 10) / (100 / 3)
+
+
+class TestNeighbourGraph:
+    def test_strips_form_a_path(self):
+        dec = decomposition_for(16, 4, "strip")
+        nbrs = dec.neighbour_map(FIVE_POINT)
+        assert nbrs[0] == [1]
+        assert nbrs[1] == [0, 2]
+        assert nbrs[2] == [1, 3]
+        assert nbrs[3] == [2]
+
+    def test_five_point_blocks_have_no_diagonal_neighbours(self):
+        dec = decomposition_for(16, 4, "block")  # 2x2 blocks
+        nbrs = dec.neighbour_map(FIVE_POINT)
+        assert all(len(v) == 2 for v in nbrs.values())
+
+    def test_nine_point_box_adds_diagonals(self):
+        dec = decomposition_for(16, 4, "block")
+        nbrs = dec.neighbour_map(NINE_POINT_BOX)
+        assert all(len(v) == 3 for v in nbrs.values())  # 2 edges + 1 corner
+
+
+class TestHaloVolumes:
+    def test_interior_strip_reads_two_rows(self):
+        dec = decomposition_for(32, 4, "strip")
+        assert dec.communication_volume(FIVE_POINT, 1) == 2 * 32
+
+    def test_edge_strip_reads_one_row(self):
+        dec = decomposition_for(32, 4, "strip")
+        assert dec.communication_volume(FIVE_POINT, 0) == 32
+
+    def test_reach_two_stencil_doubles_strip_volume(self):
+        dec = decomposition_for(32, 4, "strip")
+        assert dec.communication_volume(NINE_POINT_STAR, 1) == 2 * 2 * 32
+
+    def test_corner_point_volume_nine_point(self):
+        # 2x2 blocks on 16x16: a block reads 8 from each edge neighbour
+        # plus 1 corner point from the diagonal one.
+        dec = decomposition_for(16, 4, "block")
+        assert dec.communication_volume(NINE_POINT_BOX, 0) == 8 + 8 + 1
+
+    def test_total_volume_symmetric_for_symmetric_stencils(self):
+        dec = decomposition_for(16, 4, "block")
+        edges = dec.halo_edges(FIVE_POINT)
+        vol = {(e.src, e.dst): e.volume for e in edges}
+        for (s, d), v in vol.items():
+            assert vol[(d, s)] == v

@@ -1,0 +1,56 @@
+"""Continuous volume formulas used by the analytic model."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.partitioning.geometry import (
+    area_for_processors,
+    partition_side,
+    processors_for_area,
+    read_volume,
+    transfer_volume,
+    write_volume,
+)
+from repro.stencils.perimeter import PartitionKind
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+class TestVolumes:
+    def test_strip_read_volume_independent_of_area(self):
+        assert read_volume(STRIP, 100, 64, 1) == read_volume(STRIP, 5000, 64, 1)
+        assert read_volume(STRIP, 100, 64, 1) == 128.0
+
+    def test_square_read_volume_scales_with_side(self):
+        assert read_volume(SQUARE, 64, 256, 1) == pytest.approx(32.0)
+        assert read_volume(SQUARE, 256, 256, 1) == pytest.approx(64.0)
+
+    def test_k_scales_linearly(self):
+        assert read_volume(STRIP, 100, 64, 2) == 2 * read_volume(STRIP, 100, 64, 1)
+
+    def test_writes_equal_reads(self):
+        assert write_volume(SQUARE, 81, 64, 1) == read_volume(SQUARE, 81, 64, 1)
+
+    def test_transfer_is_sum(self):
+        assert transfer_volume(STRIP, 100, 64, 1) == 2 * read_volume(STRIP, 100, 64, 1)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            read_volume(STRIP, -1, 64, 1)
+
+
+class TestProcessorAreaDuality:
+    def test_roundtrip(self):
+        assert processors_for_area(64, area_for_processors(64, 16)) == pytest.approx(16)
+
+    def test_partition_side(self):
+        assert partition_side(144.0) == 12.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            processors_for_area(64, 0.0)
+        with pytest.raises(InvalidParameterError):
+            area_for_processors(64, 0.0)
+        with pytest.raises(InvalidParameterError):
+            partition_side(-4.0)

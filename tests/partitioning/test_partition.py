@@ -1,0 +1,77 @@
+"""Partition box geometry and adjacency relations."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.partitioning.partition import Partition
+
+
+class TestConstruction:
+    def test_rejects_empty_box(self):
+        with pytest.raises(DecompositionError, match="empty"):
+            Partition(0, 0, 0, 4)
+
+    def test_rejects_negative_origin(self):
+        with pytest.raises(DecompositionError, match="negative"):
+            Partition(-1, 2, 0, 4)
+
+
+class TestGeometry:
+    def test_area_and_perimeter(self):
+        p = Partition(0, 4, 0, 8)
+        assert p.area == 32
+        assert p.perimeter == 2 * (4 + 8)
+
+    def test_square_detection(self):
+        assert Partition(0, 4, 4, 8).is_square()
+        assert not Partition(0, 3, 0, 4).is_square()
+
+    def test_aspect_ratio(self):
+        assert Partition(0, 2, 0, 8).aspect_ratio == 4.0
+        assert Partition(0, 3, 0, 3).aspect_ratio == 1.0
+
+
+class TestRelations:
+    def test_overlap_detection(self):
+        a = Partition(0, 4, 0, 4)
+        assert a.overlaps(Partition(2, 6, 2, 6))
+        assert not a.overlaps(Partition(4, 8, 0, 4))
+
+    def test_edge_adjacency(self):
+        a = Partition(0, 4, 0, 4)
+        below = Partition(4, 8, 0, 4)
+        right = Partition(0, 4, 4, 8)
+        assert a.touches(below)
+        assert a.touches(right)
+
+    def test_corner_contact_is_not_touching(self):
+        a = Partition(0, 4, 0, 4)
+        diag = Partition(4, 8, 4, 8)
+        assert not a.touches(diag)
+
+    def test_distant_boxes_not_touching(self):
+        assert not Partition(0, 2, 0, 2).touches(Partition(5, 7, 5, 7))
+
+    def test_contains_point(self):
+        p = Partition(2, 5, 3, 6)
+        assert p.contains_point(2, 3)
+        assert p.contains_point(4, 5)
+        assert not p.contains_point(5, 3)  # row_stop exclusive
+
+
+class TestBoundaryCount:
+    def test_full_ring(self):
+        p = Partition(0, 4, 0, 4)
+        # 4x4 box: 16 - 2x2 interior = 12 boundary points at depth 1.
+        assert p.boundary_point_count(1) == 12
+
+    def test_thin_partition_all_boundary(self):
+        p = Partition(0, 2, 0, 10)
+        assert p.boundary_point_count(1) == p.area
+
+    def test_depth_validation(self):
+        with pytest.raises(DecompositionError):
+            Partition(0, 2, 0, 2).boundary_point_count(0)
+
+    def test_ordering_is_lexicographic(self):
+        assert Partition(0, 1, 0, 2) < Partition(0, 1, 0, 3)

@@ -1,0 +1,116 @@
+"""Legal/working rectangles: the Figure-6 approximation machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.partitioning.rectangles import (
+    DEFAULT_PERIMETER_TOLERANCE,
+    LegalRectangle,
+    approximation_errors,
+    closest_working_rectangle,
+    divisors,
+    legal_rectangles,
+    working_rectangles,
+)
+
+
+class TestDivisors:
+    def test_known_values(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(64) == [1, 2, 4, 8, 16, 32, 64]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DecompositionError):
+            divisors(0)
+
+    @given(n=st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=50)
+    def test_every_divisor_divides(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(ds)
+        assert ds[0] == 1 and ds[-1] == n
+
+
+class TestLegalRectangles:
+    def test_widths_divide_grid(self):
+        for rect in legal_rectangles(12):
+            assert 12 % rect.width == 0
+            assert 1 <= rect.height <= 12
+
+    def test_count(self):
+        # heights 1..n times number of divisors of n
+        assert len(legal_rectangles(12)) == 12 * 6
+
+
+class TestWorkingRectangles:
+    def test_perimeter_excess_nonnegative(self):
+        for rect in working_rectangles(64):
+            assert rect.perimeter_excess() >= -1e-15
+
+    def test_all_within_tolerance(self):
+        for rect in working_rectangles(64):
+            assert rect.perimeter_excess() <= DEFAULT_PERIMETER_TOLERANCE
+
+    def test_exact_squares_always_survive(self):
+        areas = {r.area for r in working_rectangles(64)}
+        for width in divisors(64):
+            assert width * width in areas
+
+    def test_unique_per_area_sorted(self):
+        rects = working_rectangles(128)
+        areas = [r.area for r in rects]
+        assert areas == sorted(areas)
+        assert len(areas) == len(set(areas))
+
+    def test_tolerance_validation(self):
+        with pytest.raises(DecompositionError):
+            working_rectangles(16, tolerance=0.0)
+
+
+class TestClosest:
+    def test_exact_hit(self):
+        rect = closest_working_rectangle(64, 64.0)
+        assert rect.area == 64
+
+    def test_ties_prefer_smaller_area(self):
+        rects = working_rectangles(64)
+        # Construct a midpoint between two adjacent achievable areas.
+        a0, a1 = rects[10].area, rects[11].area
+        chosen = closest_working_rectangle(64, (a0 + a1) / 2.0)
+        assert chosen.area == min(a0, a1, key=lambda a: (abs((a0 + a1) / 2 - a), a))
+
+
+class TestFigure6Claims:
+    """The paper's headline: errors usually < 3% (area) and < 6% (perimeter)."""
+
+    @pytest.mark.parametrize("n", [128, 256])
+    def test_error_bounds_hold_in_bulk(self, n):
+        lo, hi = n * n // 64, n * n // 4
+        errors = approximation_errors(n, range(lo, hi + 1, 8))
+        frac_area_ok = sum(e.area_error <= 0.03 for e in errors) / len(errors)
+        frac_perim_ok = sum(e.perimeter_error <= 0.06 for e in errors) / len(errors)
+        assert frac_area_ok >= 0.9
+        assert frac_perim_ok >= 0.9
+
+    def test_256_grid_worst_case_is_moderate(self):
+        errors = approximation_errors(256, range(1024, 16385, 16))
+        assert max(e.area_error for e in errors) < 0.10
+        assert max(e.perimeter_error for e in errors) < 0.10
+
+
+@given(
+    h=st.integers(min_value=1, max_value=200),
+    w=st.integers(min_value=1, max_value=200),
+)
+def test_rectangle_invariants(h, w):
+    rect = LegalRectangle(height=h, width=w)
+    assert rect.area == h * w
+    assert rect.perimeter == 2 * (h + w)
+    # AM-GM: perimeter of any rectangle >= perimeter of equal-area square.
+    assert rect.perimeter_excess() >= -1e-12
+    if h == w:
+        assert rect.perimeter_excess() == pytest.approx(0.0, abs=1e-12)

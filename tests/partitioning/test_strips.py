@@ -1,0 +1,74 @@
+"""Strip decomposition: the paper's remainder rule, property-tested."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecompositionError
+from repro.partitioning.strips import decompose_strips, strip_heights
+
+
+class TestRemainderRule:
+    def test_even_split(self):
+        assert strip_heights(16, 4) == [4, 4, 4, 4]
+
+    def test_paper_rule_remainder_first(self):
+        # n = k*P + r: the first r strips get one extra row.
+        assert strip_heights(10, 3) == [4, 3, 3]
+        assert strip_heights(11, 3) == [4, 4, 3]
+
+    def test_single_processor(self):
+        assert strip_heights(7, 1) == [7]
+
+    def test_one_row_each(self):
+        assert strip_heights(5, 5) == [1, 1, 1, 1, 1]
+
+
+class TestValidation:
+    def test_too_many_processors(self):
+        with pytest.raises(DecompositionError, match="non-empty"):
+            strip_heights(4, 5)
+
+    def test_nonpositive_inputs(self):
+        with pytest.raises(DecompositionError):
+            strip_heights(0, 1)
+        with pytest.raises(DecompositionError):
+            strip_heights(4, 0)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=512),
+    p=st.integers(min_value=1, max_value=64),
+)
+def test_heights_tile_and_balance(n, p):
+    """Heights sum to n, differ by at most 1, and are non-increasing."""
+    if p > n:
+        with pytest.raises(DecompositionError):
+            strip_heights(n, p)
+        return
+    heights = strip_heights(n, p)
+    assert sum(heights) == n
+    assert len(heights) == p
+    assert max(heights) - min(heights) <= 1
+    assert heights == sorted(heights, reverse=True)
+
+
+class TestDecomposition:
+    def test_strips_cover_grid_in_order(self):
+        parts = decompose_strips(10, 3)
+        assert parts[0].row_start == 0
+        assert parts[-1].row_stop == 10
+        for prev, cur in zip(parts, parts[1:]):
+            assert prev.row_stop == cur.row_start
+        assert all(p.col_start == 0 and p.col_stop == 10 for p in parts)
+
+    @given(
+        n=st.integers(min_value=1, max_value=128),
+        p=st.integers(min_value=1, max_value=32),
+    )
+    def test_strip_areas_match_heights(self, n, p):
+        if p > n:
+            return
+        parts = decompose_strips(n, p)
+        assert [s.n_rows for s in parts] == strip_heights(n, p)
+        assert sum(s.area for s in parts) == n * n

@@ -1,0 +1,91 @@
+"""Text tables, ASCII plots, CSV writers."""
+
+import csv
+
+import pytest
+
+from repro.report.ascii_plot import bar_chart, line_plot, multi_line_plot
+from repro.report.csvio import write_csv
+from repro.report.tables import format_kv_block, format_table
+
+
+class TestTables:
+    def test_alignment_and_rule(self):
+        out = format_table(["n", "speedup"], [[256, 10.67], [1024, 14.2]])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert set(lines[1]) <= {"-", " "}
+        assert "256" in lines[2]
+
+    def test_title_block(self):
+        out = format_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert out.splitlines()[1] == "="
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456789e-9]])
+        assert "e-09" in out
+
+    def test_kv_block(self):
+        out = format_kv_block({"alpha": 1, "b": 2.5}, title="params")
+        assert "alpha : 1" in out
+        assert out.splitlines()[0] == "params"
+
+
+class TestPlots:
+    def test_line_plot_contains_range_labels(self):
+        out = line_plot([1, 2, 3], [10.0, 20.0, 15.0], width=20, height=5)
+        assert "[10, 20]" in out
+        assert out.count("\n") >= 6
+
+    def test_multi_line_legend(self):
+        out = multi_line_plot(
+            [1, 2], {"up": [1.0, 2.0], "down": [2.0, 1.0]}, width=10, height=4
+        )
+        assert "* up" in out
+        assert "+ down" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_plot([1, 2], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multi_line_plot([], {})
+
+    def test_flat_series_renders(self):
+        out = line_plot([1, 2, 3], [5.0, 5.0, 5.0], width=12, height=4)
+        assert "*" in out
+
+    def test_bar_chart(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2.5], [3, 4.5]])
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "dir" / "x.csv", ["h"], [[1]])
+        assert path.exists()
+
+    def test_bad_row_width_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cells"):
+            write_csv(tmp_path / "x.csv", ["a", "b"], [[1]])

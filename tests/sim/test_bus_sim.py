@@ -1,0 +1,100 @@
+"""Bus network models: the effective-delay theorem and async draining."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.network.bus_sim import (
+    BlockRequest,
+    WordStream,
+    async_write_drain,
+    sync_bus_phase,
+)
+
+
+class TestSyncPhase:
+    def test_last_processor_sees_effective_delay(self):
+        """P equal blocks ready at 0: the last finishes at V·(c + b·P) —
+        footnote 3's assumption, here a theorem of FIFO service."""
+        b, c, words, P = 2.0, 0.5, 10, 4
+        done = sync_bus_phase(
+            [BlockRequest(p, words, 0.0) for p in range(P)], b, c
+        )
+        assert max(done.values()) == pytest.approx(words * (c + b * P))
+
+    def test_first_processor_is_fast(self):
+        done = sync_bus_phase(
+            [BlockRequest(p, 10, 0.0) for p in range(4)], 2.0, 0.5
+        )
+        assert done[0] == pytest.approx(10 * (2.0 + 0.5))
+
+    def test_zero_word_processor_completes_at_ready(self):
+        done = sync_bus_phase([BlockRequest(0, 0, 3.0)], 1.0, 1.0)
+        assert done[0] == 3.0
+
+    def test_staggered_ready_times_pipeline(self):
+        # Second request arrives after the first completes: no queueing.
+        done = sync_bus_phase(
+            [BlockRequest(0, 5, 0.0), BlockRequest(1, 5, 100.0)], 1.0, 0.0
+        )
+        assert done[1] == pytest.approx(105.0)
+
+    def test_duplicate_processor_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            sync_bus_phase(
+                [BlockRequest(0, 5, 0.0), BlockRequest(0, 5, 0.0)], 1.0, 0.0
+            )
+
+    @given(
+        words=st.integers(min_value=1, max_value=50),
+        P=st.integers(min_value=1, max_value=12),
+        b=st.floats(min_value=0.1, max_value=5.0),
+        c=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=50)
+    def test_effective_delay_property(self, words, P, b, c):
+        done = sync_bus_phase(
+            [BlockRequest(p, words, 0.0) for p in range(P)], b, c
+        )
+        assert max(done.values()) == pytest.approx(words * (c + b * P))
+
+
+class TestWordStream:
+    def test_word_ready_times(self):
+        s = WordStream(processor=0, words=3, start=10.0, interval=2.0)
+        assert s.word_ready(0) == 12.0
+        assert s.word_ready(2) == 16.0
+
+    def test_out_of_range_rejected(self):
+        s = WordStream(processor=0, words=3, start=0.0, interval=1.0)
+        with pytest.raises(SimulationError):
+            s.word_ready(3)
+
+
+class TestAsyncDrain:
+    def test_empty_streams_drain_instantly(self):
+        assert async_write_drain([], 1.0) == 0.0
+        assert async_write_drain(
+            [WordStream(0, 0, 0.0, 1.0)], 1.0
+        ) == 0.0
+
+    def test_slow_production_no_backlog(self):
+        """Words arrive slower than the bus serves: drain ends with the
+        last word's production plus one service."""
+        streams = [WordStream(0, 5, 0.0, 10.0)]
+        assert async_write_drain(streams, 1.0) == pytest.approx(51.0)
+
+    def test_fast_production_saturates_bus(self):
+        """P streams producing instantly: drain = total words x b."""
+        streams = [WordStream(p, 10, 0.0, 1e-9) for p in range(4)]
+        assert async_write_drain(streams, 2.0) == pytest.approx(80.0, rel=1e-6)
+
+    def test_backlog_matches_paper_model(self):
+        """When the bus is the bottleneck the drain time approaches
+        b·B_total — the asynchronous bus equation's max() argument."""
+        b = 3.0
+        point_time = 1.0  # words produced every 1.0, bus needs 3.0 each
+        streams = [WordStream(p, 20, 0.0, point_time) for p in range(5)]
+        drain = async_write_drain(streams, b)
+        assert drain == pytest.approx(b * 100, rel=0.02)

@@ -1,0 +1,133 @@
+"""Butterfly topology: routing correctness and classical congestion facts."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.network.butterfly import (
+    ButterflyNetwork,
+    bit_reversal_permutation,
+    cyclic_shift_permutation,
+    random_permutation,
+)
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            ButterflyNetwork(n_ports=12)
+
+    def test_stages(self):
+        assert ButterflyNetwork(n_ports=16).stages == 4
+        assert ButterflyNetwork(n_ports=1).stages == 0
+
+
+class TestRouting:
+    def test_path_length_is_stage_count(self):
+        net = ButterflyNetwork(n_ports=16)
+        assert len(net.route(3, 11)) == 4
+
+    def test_path_ends_at_destination(self):
+        net = ButterflyNetwork(n_ports=32)
+        for src in (0, 7, 31):
+            for dst in (0, 13, 31):
+                edges = net.route(src, dst)
+                assert edges[-1][2] == dst
+
+    @given(
+        d=st.integers(min_value=1, max_value=7),
+        src=st.integers(min_value=0, max_value=127),
+        dst=st.integers(min_value=0, max_value=127),
+    )
+    @settings(max_examples=60)
+    def test_routing_property(self, d, src, dst):
+        n = 1 << d
+        net = ButterflyNetwork(n_ports=n)
+        src %= n
+        dst %= n
+        edges = net.route(src, dst)
+        # Contiguous path starting at src, ending at dst, one per stage.
+        assert edges[0][1] == src
+        assert edges[-1][2] == dst
+        assert [e[0] for e in edges] == list(range(d))
+        for (s1, _, to1), (_, frm2, _) in zip(edges, edges[1:]):
+            assert to1 == frm2
+
+    def test_out_of_range_rejected(self):
+        net = ButterflyNetwork(n_ports=8)
+        with pytest.raises(SimulationError):
+            net.route(0, 8)
+
+
+class TestCongestion:
+    def test_identity_is_conflict_free(self):
+        """The paper's placement (assumption 3) routes with congestion 1."""
+        for n in (4, 16, 64, 256):
+            net = ButterflyNetwork(n_ports=n)
+            assert net.congestion(list(range(n))) == 1
+
+    def test_cyclic_shift_is_conflict_free(self):
+        for n in (8, 64):
+            net = ButterflyNetwork(n_ports=n)
+            for shift in (1, 3, n // 2):
+                assert net.congestion(cyclic_shift_permutation(n, shift)) == 1
+
+    def test_bit_reversal_congestion_grows_geometrically(self):
+        """Bit reversal is the classical bad case: congestion doubles
+        every two dimensions (Θ(√N))."""
+        c = {
+            n: ButterflyNetwork(n_ports=n).congestion(bit_reversal_permutation(n))
+            for n in (16, 64, 256, 1024)
+        }
+        assert c[64] == 2 * c[16]
+        assert c[256] == 2 * c[64]
+        assert c[1024] == 2 * c[256]
+        assert c[1024] >= 1024 ** 0.5 / 2
+
+    def test_random_between_identity_and_reversal(self):
+        n = 256
+        net = ButterflyNetwork(n_ports=n)
+        rand = net.congestion(random_permutation(n, seed=1))
+        rev = net.congestion(bit_reversal_permutation(n))
+        assert 1 < rand <= rev
+
+    def test_pattern_length_checked(self):
+        net = ButterflyNetwork(n_ports=8)
+        with pytest.raises(SimulationError, match="entries"):
+            net.congestion([0, 1])
+
+
+class TestReadTime:
+    def test_identity_recovers_paper_formula(self):
+        net = ButterflyNetwork(n_ports=16)
+        w = 1e-7
+        assert net.read_word_time(w, list(range(16))) == pytest.approx(
+            2 * w * 4
+        )
+
+    def test_congestion_multiplies(self):
+        net = ButterflyNetwork(n_ports=64)
+        w = 1e-7
+        ident = net.read_word_time(w, list(range(64)))
+        rev = net.read_word_time(w, bit_reversal_permutation(64))
+        assert rev == pytest.approx(ident * net.congestion(bit_reversal_permutation(64)))
+
+    def test_single_port_free(self):
+        assert ButterflyNetwork(n_ports=1).read_word_time(1e-7, [0]) == 0.0
+
+    def test_invalid_w(self):
+        with pytest.raises(SimulationError):
+            ButterflyNetwork(n_ports=4).read_word_time(0.0, list(range(4)))
+
+
+class TestPermutations:
+    def test_bit_reversal_is_involution(self):
+        p = bit_reversal_permutation(64)
+        assert [p[p[i]] for i in range(64)] == list(range(64))
+
+    def test_random_is_permutation_and_deterministic(self):
+        p1 = random_permutation(32, seed=5)
+        p2 = random_permutation(32, seed=5)
+        assert p1 == p2
+        assert sorted(p1) == list(range(32))

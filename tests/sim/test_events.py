@@ -1,0 +1,103 @@
+"""The discrete-event engine: ordering, determinism, FIFO resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue, Resource
+
+
+class TestEventQueue:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        assert q.run() == 3.0
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in "xyz":
+            q.schedule(1.0, lambda t=tag: fired.append(t))
+        q.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_callbacks_may_schedule_more(self):
+        q = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append(q.now)
+            if q.now < 3.0:
+                q.schedule(q.now + 1.0, chain)
+
+        q.schedule(1.0, chain)
+        q.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_scheduling_in_past_raises(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: q.schedule(1.0, lambda: None))
+        with pytest.raises(SimulationError, match="before current time"):
+            q.run()
+
+    def test_runaway_loop_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule(q.now + 1.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="exceeded"):
+            q.run(max_events=100)
+
+    def test_event_counter(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        q.run()
+        assert q.events_processed == 2
+
+
+class TestResource:
+    def test_fifo_back_to_back(self):
+        r = Resource()
+        g1 = r.serve(0.0, 2.0)
+        g2 = r.serve(0.0, 3.0)
+        assert (g1.start, g1.finish) == (0.0, 2.0)
+        assert (g2.start, g2.finish) == (2.0, 5.0)
+
+    def test_idle_gap_respected(self):
+        r = Resource()
+        r.serve(0.0, 1.0)
+        g = r.serve(10.0, 1.0)
+        assert g.start == 10.0
+
+    def test_negative_holding_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource().serve(0.0, -1.0)
+
+    def test_utilization(self):
+        r = Resource()
+        r.serve(0.0, 2.0)
+        r.serve(0.0, 2.0)
+        assert r.utilization(8.0) == pytest.approx(0.5)
+        with pytest.raises(SimulationError):
+            r.utilization(0.0)
+
+    @given(
+        holds=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=40)
+    def test_total_busy_is_sum_of_holds(self, holds):
+        r = Resource()
+        for h in holds:
+            r.serve(0.0, h)
+        assert r.total_busy == pytest.approx(sum(holds))
+        assert r.grants == len(holds)

@@ -1,0 +1,70 @@
+"""Link-phase and banyan network models."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network.banyan_sim import network_stages, read_phase_time
+from repro.sim.network.link_sim import (
+    MessageSpec,
+    message_time,
+    neighbour_exchange_time,
+    phase_durations,
+)
+
+
+class TestMessageTime:
+    def test_packetization(self):
+        assert message_time(17, alpha=1.0, beta=10.0, packet_words=16) == 12.0
+
+    def test_idle_rank_is_free(self):
+        assert message_time(0, 1.0, 10.0, 16) == 0.0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(SimulationError):
+            MessageSpec(rank=0, words=-1)
+
+
+class TestPhases:
+    def test_phase_duration_is_slowest_member(self):
+        phases = [[MessageSpec(0, 16), MessageSpec(1, 32)]]
+        assert phase_durations(phases, 1.0, 10.0, 16) == [12.0]
+
+    def test_exchange_sums_phases(self):
+        phases = [
+            [MessageSpec(0, 16)],
+            [MessageSpec(0, 16)],
+            [MessageSpec(1, 32)],
+        ]
+        assert neighbour_exchange_time(phases, 1.0, 10.0, 16) == 11 + 11 + 12
+
+    def test_empty_phase_contributes_nothing(self):
+        assert neighbour_exchange_time([[]], 1.0, 10.0, 16) == 0.0
+
+
+class TestBanyanStages:
+    def test_power_of_two(self):
+        assert network_stages(16) == 4
+
+    def test_rounds_up(self):
+        assert network_stages(9) == 4
+
+    def test_single_port(self):
+        assert network_stages(1) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            network_stages(0)
+
+
+class TestBanyanReadPhase:
+    def test_max_over_ranks(self):
+        # 4 ports -> 2 stages -> 2*w*2 per word.
+        t = read_phase_time([10, 20, 5], w=0.5, n_ports=4)
+        assert t == pytest.approx(20 * 2 * 0.5 * 2)
+
+    def test_empty_is_zero(self):
+        assert read_phase_time([], w=0.5, n_ports=4) == 0.0
+
+    def test_invalid_switch_time(self):
+        with pytest.raises(SimulationError):
+            read_phase_time([1], w=0.0, n_ports=4)

@@ -1,0 +1,92 @@
+"""Robustness: wide stencils, lopsided decompositions, degenerate inputs.
+
+Failure-injection style tests — the simulator and model must either
+handle these exactly or refuse loudly, never silently mis-time.
+"""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.partitioning.decomposition import decomposition_for
+from repro.sim.iteration import halo_volumes, simulate_iteration
+from repro.sim.validate import validate_machine
+from repro.stencils.library import NINE_POINT_STAR, THIRTEEN_POINT
+from repro.stencils.perimeter import PartitionKind
+
+T = 1e-6
+
+
+class TestWideStencils:
+    def test_reach_two_strips_double_volume(self):
+        dec = decomposition_for(32, 4, "strip")
+        reads, writes = halo_volumes(dec, NINE_POINT_STAR)
+        assert reads[1] == 2 * 2 * 32  # two perimeters each side
+        assert writes[1] == 2 * 2 * 32
+
+    def test_thirteen_point_blocks_have_corner_traffic(self):
+        dec = decomposition_for(16, 4, "block")
+        reads, _ = halo_volumes(dec, THIRTEEN_POINT)
+        # Two edges of 2 rows (16 pts) each, plus the diagonal corner point.
+        assert all(r == 2 * 16 + 1 for r in reads)
+
+    def test_hypercube_simulation_handles_reach_two(self):
+        cube = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
+        dec = decomposition_for(32, 4, "strip")
+        res = simulate_iteration(cube, dec, NINE_POINT_STAR, T)
+        # Each directed edge carries 2 rows = 64 words -> 4 packets;
+        # 4 phases of (4*alpha + beta), plus compute of 8x32 points.
+        expected = 4 * (4e-6 + 1e-5) + 10 * 256 * T
+        assert res.cycle_time == pytest.approx(expected, rel=1e-9)
+
+    def test_validation_sweep_with_wide_stencil(self):
+        sweep = validate_machine(
+            SynchronousBus(b=6.1e-6, c=0.0),
+            NINE_POINT_STAR,
+            32,
+            [1, 2, 4, 8],
+            PartitionKind.STRIP,
+        )
+        # Model still an upper envelope, serial exact.
+        assert sweep.points[0].relative_error == pytest.approx(0.0)
+        for p in sweep.points[1:]:
+            assert p.simulated <= p.analytic * 1.01
+
+
+class TestLopsidedDecompositions:
+    def test_prime_processor_count_on_blocks_degrades_to_strips(self):
+        dec = decomposition_for(21, 7, "block")  # 1x7 arrangement
+        assert dec.n_processors == 7
+        assert dec.load_imbalance() == 1.0
+
+    def test_remainder_rows_show_in_simulated_compute(self):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        dec = decomposition_for(10, 3, "strip")  # heights 4,3,3
+        res = simulate_iteration(bus, dec, NINE_POINT_STAR, T)
+        assert max(res.compute_times) == pytest.approx(10 * 40 * T)
+        assert min(res.compute_times) == pytest.approx(10 * 30 * T)
+
+    def test_more_processors_than_rows_rejected(self):
+        with pytest.raises(DecompositionError):
+            decomposition_for(4, 5, "strip")
+
+
+class TestDegenerateGrids:
+    def test_two_by_two_grid_two_processors(self):
+        bus = SynchronousBus(b=1e-6, c=0.0)
+        dec = decomposition_for(2, 2, "strip")
+        res = simulate_iteration(bus, dec, NINE_POINT_STAR, T)
+        assert res.cycle_time > 0
+        # Each strip is one row; every point is boundary.
+        assert all(r == 2 for r in res.read_words)
+
+    def test_single_point_partitions(self):
+        bus = SynchronousBus(b=1e-6, c=0.0)
+        dec = decomposition_for(2, 4, "block")
+        reads, writes = halo_volumes(dec, NINE_POINT_STAR)
+        # Every partition is a single point reading its 2 in-grid
+        # neighbours (the distance-2 arms all leave the 2x2 domain).
+        assert all(r == 2 for r in reads)
+        res = simulate_iteration(bus, dec, NINE_POINT_STAR, T)
+        assert res.cycle_time > 0

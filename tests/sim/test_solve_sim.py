@@ -1,0 +1,62 @@
+"""Full-solve simulation: schedules, overheads, machine differences."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.machines.mesh import MeshGrid
+from repro.partitioning.decomposition import decomposition_for
+from repro.sim.solve_sim import simulate_solve
+from repro.solver.convergence import CheckSchedule
+from repro.stencils.library import FIVE_POINT
+
+T = 1e-6
+
+
+@pytest.fixture
+def dec():
+    return decomposition_for(32, 8, "block")
+
+
+class TestTimeline:
+    def test_composition(self, dec):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        tl = simulate_solve(bus, dec, FIVE_POINT, T, iterations=100)
+        assert tl.iterations == 100
+        assert tl.checks_performed == 100
+        assert tl.total_time == pytest.approx(
+            tl.iteration_time + tl.check_compute_time + tl.dissemination_time_total
+        )
+
+    def test_sparse_schedule_reduces_checks(self, dec):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        dense = simulate_solve(bus, dec, FIVE_POINT, T, 100, CheckSchedule(1))
+        sparse = simulate_solve(bus, dec, FIVE_POINT, T, 100, CheckSchedule(10))
+        assert sparse.checks_performed == 10
+        assert sparse.total_time < dense.total_time
+        assert sparse.check_overhead_fraction < dense.check_overhead_fraction
+
+    def test_iteration_validation(self, dec):
+        bus = SynchronousBus(b=6.1e-6, c=0.0)
+        with pytest.raises(InvalidParameterError):
+            simulate_solve(bus, dec, FIVE_POINT, T, iterations=0)
+
+
+class TestMachineDifferences:
+    def test_mesh_hardware_free_checks(self, dec):
+        """Section 5: convergence hardware makes dissemination free."""
+        with_hw = MeshGrid(alpha=1e-6, beta=1e-5, convergence_hardware=True)
+        without = MeshGrid(alpha=1e-6, beta=1e-5, convergence_hardware=False)
+        tl_hw = simulate_solve(with_hw, dec, FIVE_POINT, T, 50)
+        tl_no = simulate_solve(without, dec, FIVE_POINT, T, 50)
+        assert tl_hw.dissemination_time_total == 0.0
+        assert tl_no.dissemination_time_total > 0.0
+
+    def test_hypercube_scheduling_drives_overhead_down(self, dec):
+        """Saltz-Naik-Nicol: scheduled checks make the cost insignificant."""
+        cube = Hypercube(alpha=1e-6, beta=1e-3, packet_words=16)  # costly startup
+        dense = simulate_solve(cube, dec, FIVE_POINT, T, 200, CheckSchedule(1))
+        sparse = simulate_solve(cube, dec, FIVE_POINT, T, 200, CheckSchedule(20))
+        assert dense.check_overhead_fraction > 0.2
+        assert sparse.check_overhead_fraction < 0.1

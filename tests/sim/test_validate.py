@@ -1,0 +1,78 @@
+"""Validation sweeps: the shape-agreement contract between model and sim."""
+
+import pytest
+
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.bus import SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.sim.validate import validate_machine, validation_summary
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+PROCS = [1, 2, 4, 8, 16]
+
+
+class TestSweepStructure:
+    def test_point_fields(self):
+        sweep = validate_machine(
+            SynchronousBus(b=6.1e-6), FIVE_POINT, 32, PROCS, PartitionKind.SQUARE
+        )
+        assert len(sweep.points) == len(PROCS)
+        assert [p.processors for p in sweep.points] == PROCS
+        assert sweep.points[0].relative_error == pytest.approx(0.0)  # serial
+
+    def test_summary_keys(self):
+        sweep = validate_machine(
+            SynchronousBus(b=6.1e-6), FIVE_POINT, 32, PROCS, PartitionKind.SQUARE
+        )
+        s = validation_summary(sweep)
+        assert set(s) >= {
+            "mean_relative_error",
+            "max_abs_relative_error",
+            "best_p_analytic",
+            "best_p_simulated",
+            "ranking_agrees",
+        }
+
+
+class TestAgreementContracts:
+    def test_hypercube_tight_agreement(self):
+        sweep = validate_machine(
+            Hypercube(alpha=1e-6, beta=1e-5, packet_words=16),
+            FIVE_POINT,
+            32,
+            PROCS,
+            PartitionKind.SQUARE,
+        )
+        assert sweep.max_abs_relative_error() < 0.05
+
+    def test_banyan_tight_agreement(self):
+        sweep = validate_machine(
+            BanyanNetwork(w=2e-7), FIVE_POINT, 32, PROCS, PartitionKind.SQUARE
+        )
+        assert sweep.max_abs_relative_error() < 0.05
+
+    def test_bus_model_is_upper_envelope(self):
+        """The analytic bus model over-counts boundary partitions' volume,
+        so simulation must come in at or below it."""
+        sweep = validate_machine(
+            SynchronousBus(b=6.1e-6), FIVE_POINT, 48, [2, 4, 8, 16],
+            PartitionKind.SQUARE,
+        )
+        for p in sweep.points:
+            assert p.simulated <= p.analytic * 1.01
+
+    def test_bus_ranking_agreement(self):
+        sweep = validate_machine(
+            SynchronousBus(b=6.1e-6), FIVE_POINT, 48,
+            [1, 2, 3, 4, 6, 8, 12, 16], PartitionKind.STRIP,
+        )
+        s = validation_summary(sweep)
+        assert s["ranking_agrees"]
+
+    def test_strip_kind_uses_strip_decomposition(self):
+        sweep = validate_machine(
+            SynchronousBus(b=6.1e-6), FIVE_POINT, 32, [4], PartitionKind.STRIP
+        )
+        # Strips of 32x8 = 256 points; squares would be 16x16.
+        assert sweep.points[0].analytic > 0

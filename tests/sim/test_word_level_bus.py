@@ -1,0 +1,70 @@
+"""Word-level round-robin bus arbitration vs the block-FIFO model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.network.bus_sim import (
+    BlockRequest,
+    sync_bus_phase,
+    sync_bus_phase_word_level,
+)
+
+
+class TestWordLevel:
+    def test_bus_bound_regime(self):
+        """c = 0: the bus is saturated; phase ends at V·P·b exactly."""
+        done = sync_bus_phase_word_level(
+            [BlockRequest(p, 10, 0.0) for p in range(4)], b=2.0, c=0.0
+        )
+        assert max(done.values()) == pytest.approx(10 * 4 * 2.0)
+
+    def test_overhead_bound_regime(self):
+        """c >> P·b: each processor runs at its own c + b pace."""
+        done = sync_bus_phase_word_level(
+            [BlockRequest(p, 10, 0.0) for p in range(2)], b=1.0, c=100.0
+        )
+        assert max(done.values()) == pytest.approx(10 * 101.0, rel=0.02)
+
+    def test_zero_word_request(self):
+        done = sync_bus_phase_word_level([BlockRequest(0, 0, 5.0)], 1.0, 1.0)
+        assert done[0] == 5.0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate"):
+            sync_bus_phase_word_level(
+                [BlockRequest(0, 1, 0.0), BlockRequest(0, 1, 0.0)], 1.0, 0.0
+            )
+
+    @given(
+        words=st.integers(min_value=1, max_value=30),
+        procs=st.integers(min_value=1, max_value=8),
+        b=st.floats(min_value=0.1, max_value=4.0),
+        c=st.floats(min_value=0.0, max_value=4.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_effective_delay_envelope(self, words, procs, b, c):
+        """Round-robin finishes within [V·max(Pb, c+b), V·(c+bP)] + one
+        transient word — the footnote-3 envelope from either side."""
+        done = sync_bus_phase_word_level(
+            [BlockRequest(p, words, 0.0) for p in range(procs)], b, c
+        )
+        finish = max(done.values())
+        lower = words * max(procs * b, c + b)
+        upper = words * (c + procs * b) + (c + b)
+        assert lower - 1e-9 <= finish <= upper + 1e-9
+
+    @given(
+        words=st.integers(min_value=1, max_value=25),
+        procs=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_word_level_never_slower_than_block_fifo(self, words, procs):
+        """Interleaving can only help the last finisher (work-conserving
+        service of identical totals)."""
+        b, c = 1.0, 0.7
+        reqs = [BlockRequest(p, words, 0.0) for p in range(procs)]
+        block = max(sync_bus_phase(reqs, b, c).values())
+        word = max(sync_bus_phase_word_level(reqs, b, c).values())
+        assert word <= block + 1e-9

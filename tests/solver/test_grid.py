@@ -1,0 +1,69 @@
+"""GridField storage, ghosts, and coordinates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.solver.grid import GridField, domain_coordinates
+from repro.stencils.library import FIVE_POINT, NINE_POINT_STAR
+
+
+class TestCoordinates:
+    def test_unit_square_interior(self):
+        x, y = domain_coordinates(3)
+        h = 0.25
+        np.testing.assert_allclose(x[0], [h, 2 * h, 3 * h])
+        np.testing.assert_allclose(y[:, 0], [h, 2 * h, 3 * h])
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            domain_coordinates(0)
+
+
+class TestGridField:
+    def test_zeros_has_boundary_ring(self):
+        f = GridField.zeros(4, FIVE_POINT, boundary_value=2.5)
+        assert f.data.shape == (6, 6)
+        assert f.data[0, 0] == 2.5
+        assert np.all(f.interior == 0.0)
+
+    def test_ghost_width_follows_stencil_reach(self):
+        f = GridField.zeros(4, NINE_POINT_STAR)
+        assert f.ghost == 2
+        assert f.data.shape == (8, 8)
+
+    def test_interior_is_view(self):
+        f = GridField.zeros(4, FIVE_POINT)
+        f.interior[1, 1] = 9.0
+        assert f.data[2, 2] == 9.0
+
+    def test_from_function(self):
+        f = GridField.from_function(3, FIVE_POINT, lambda x, y: x + y)
+        x, y = domain_coordinates(3)
+        np.testing.assert_allclose(f.interior, x + y)
+
+    def test_set_boundary_overwrites_ring_only(self):
+        f = GridField.zeros(3, FIVE_POINT)
+        f.interior[:] = 1.0
+        f.set_boundary(7.0)
+        assert f.data[0, 2] == 7.0
+        assert np.all(f.interior == 1.0)
+
+    def test_mesh_spacing(self):
+        assert GridField.zeros(3, FIVE_POINT).h == pytest.approx(0.25)
+
+    def test_copy_is_deep(self):
+        f = GridField.zeros(3, FIVE_POINT)
+        g = f.copy()
+        g.interior[0, 0] = 5.0
+        assert f.interior[0, 0] == 0.0
+
+    def test_max_abs_diff(self):
+        f = GridField.zeros(3, FIVE_POINT)
+        g = f.copy()
+        g.interior[1, 1] = -2.0
+        assert f.max_abs_diff(g) == 2.0
+
+    def test_storage_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GridField(data=np.zeros((4, 4)), ghost=2)

@@ -1,0 +1,89 @@
+"""Sparse operators: direct solves and measured spectral radii."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.solver.convergence import InfNormCriterion
+from repro.solver.jacobi import solve_jacobi
+from repro.solver.operators import (
+    boundary_vector,
+    direct_solve,
+    measured_spectral_radius,
+    system_matrix,
+    weight_matrix,
+)
+from repro.solver.problems import laplace_problem, poisson_manufactured
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX, NINE_POINT_STAR
+from repro.stencils.stencil import Stencil
+
+
+class TestWeightMatrix:
+    def test_interior_row_sums(self):
+        """Rows away from the boundary sum to 1 (constant preservation)."""
+        w = weight_matrix(FIVE_POINT, 5)
+        sums = np.asarray(w.sum(axis=1)).ravel().reshape(5, 5)
+        assert sums[2, 2] == pytest.approx(1.0)
+        # Corner rows lose the weights that left the grid.
+        assert sums[0, 0] == pytest.approx(0.5)
+
+    def test_boundary_vector_complements_row_sums(self):
+        for stencil in (FIVE_POINT, NINE_POINT_BOX):
+            w = weight_matrix(stencil, 4)
+            g = boundary_vector(stencil, 4, boundary_value=1.0)
+            sums = np.asarray(w.sum(axis=1)).ravel()
+            np.testing.assert_allclose(sums + g, 1.0, rtol=1e-12)
+
+    def test_geometric_stencil_rejected(self):
+        bare = Stencil(name="bare", offsets=((0, 1),))
+        with pytest.raises(InvalidParameterError):
+            weight_matrix(bare, 4)
+
+    def test_system_matrix_is_i_minus_w(self):
+        a = system_matrix(FIVE_POINT, 4)
+        w = weight_matrix(FIVE_POINT, 4)
+        np.testing.assert_allclose(
+            a.toarray(), np.eye(16) - w.toarray(), rtol=1e-14
+        )
+
+
+class TestDirectSolve:
+    def test_matches_jacobi_fixed_point(self):
+        problem = poisson_manufactured()
+        direct = direct_solve(FIVE_POINT, problem, 12)
+        iterated = solve_jacobi(
+            FIVE_POINT, problem, 12, InfNormCriterion(1e-13), max_iterations=300_000
+        )
+        assert np.max(np.abs(direct - iterated.field.interior)) < 1e-10
+
+    def test_constant_boundary_laplace(self):
+        direct = direct_solve(FIVE_POINT, laplace_problem(2.5), 8)
+        np.testing.assert_allclose(direct, 2.5, rtol=1e-12)
+
+    def test_nine_point_agrees_too(self):
+        problem = poisson_manufactured()
+        direct = direct_solve(NINE_POINT_BOX, problem, 10)
+        iterated = solve_jacobi(
+            NINE_POINT_BOX, problem, 10, InfNormCriterion(1e-13),
+            max_iterations=300_000,
+        )
+        assert np.max(np.abs(direct - iterated.field.interior)) < 1e-10
+
+
+class TestSpectralRadius:
+    def test_five_point_matches_theory(self):
+        for n in (8, 16):
+            measured = measured_spectral_radius(FIVE_POINT, n)
+            assert measured == pytest.approx(math.cos(math.pi / (n + 1)), rel=1e-9)
+
+    def test_nine_point_star_exceeds_one(self):
+        """Why the solver needs damping for the fourth-order star."""
+        assert measured_spectral_radius(NINE_POINT_STAR, 12) > 1.0
+
+    def test_nine_point_box_contracts(self):
+        assert measured_spectral_radius(NINE_POINT_BOX, 12) < 1.0
+
+    def test_tiny_grid_dense_path(self):
+        assert measured_spectral_radius(FIVE_POINT, 1) == pytest.approx(0.0)

@@ -1,0 +1,49 @@
+"""Model problems: manufactured solutions and their grids."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.solver.problems import laplace_problem, poisson_manufactured
+
+
+class TestLaplace:
+    def test_rhs_is_zero(self):
+        p = laplace_problem(3.0)
+        assert np.all(p.rhs_grid(8) == 0.0)
+
+    def test_exact_is_boundary_constant(self):
+        p = laplace_problem(3.0)
+        assert np.all(p.exact_grid(8) == 3.0)
+        assert p.boundary_value == 3.0
+
+
+class TestPoisson:
+    def test_rhs_matches_minus_laplacian_of_exact(self):
+        """f = -Δu* for u* = sin(πx)sin(πy): f = 2π²·u*."""
+        p = poisson_manufactured()
+        exact = p.exact_grid(16)
+        rhs = p.rhs_grid(16)
+        np.testing.assert_allclose(rhs, 2 * math.pi**2 * exact, rtol=1e-12)
+
+    def test_zero_boundary(self):
+        p = poisson_manufactured()
+        assert p.boundary_value == 0.0
+
+    def test_exact_peak_at_center(self):
+        p = poisson_manufactured()
+        grid = p.exact_grid(31)  # odd n puts a point at the center
+        assert grid[15, 15] == pytest.approx(1.0, abs=1e-12)
+
+    def test_missing_exact_raises(self):
+        from repro.solver.problems import ModelProblem
+
+        p = ModelProblem(
+            name="no-exact",
+            rhs=lambda x, y: x,
+            boundary_value=0.0,
+            exact=None,
+        )
+        with pytest.raises(ValueError, match="closed-form"):
+            p.exact_grid(4)

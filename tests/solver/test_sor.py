@@ -1,0 +1,74 @@
+"""Red-black SOR: speedup over Jacobi, restrictions, parameter checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.solver.convergence import InfNormCriterion
+from repro.solver.jacobi import solve_jacobi
+from repro.solver.problems import laplace_problem, poisson_manufactured
+from repro.solver.sor import optimal_sor_omega, solve_sor
+from repro.stencils.library import NINE_POINT_BOX
+
+
+class TestOmega:
+    def test_optimal_omega_in_range(self):
+        for n in (4, 16, 64, 256):
+            assert 1.0 < optimal_sor_omega(n) < 2.0
+
+    def test_omega_grows_with_n(self):
+        assert optimal_sor_omega(64) > optimal_sor_omega(8)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_sor_omega(0)
+
+
+class TestSolve:
+    def test_matches_jacobi_solution(self):
+        problem = poisson_manufactured()
+        jac = solve_jacobi(
+            NINE_POINT_BOX.with_flops(10),  # any stencil for jacobi; use 5pt below
+            problem,
+            16,
+            InfNormCriterion(1e-11),
+            max_iterations=200_000,
+        )
+        # Compare SOR against the 5-point Jacobi answer (same discretization).
+        from repro.stencils.library import FIVE_POINT
+
+        jac5 = solve_jacobi(
+            FIVE_POINT, problem, 16, InfNormCriterion(1e-11), max_iterations=200_000
+        )
+        sor = solve_sor(problem, 16, criterion=InfNormCriterion(1e-11))
+        assert jac5.field.max_abs_diff(sor.field) < 1e-7
+
+    def test_sor_converges_much_faster_than_jacobi(self):
+        problem = poisson_manufactured()
+        from repro.stencils.library import FIVE_POINT
+
+        jac = solve_jacobi(
+            FIVE_POINT, problem, 24, InfNormCriterion(1e-9), max_iterations=200_000
+        )
+        sor = solve_sor(problem, 24, criterion=InfNormCriterion(1e-9))
+        assert sor.iterations * 5 < jac.iterations
+
+    def test_omega_one_is_gauss_seidel(self):
+        problem = laplace_problem(2.0)
+        res = solve_sor(problem, 8, omega=1.0, criterion=InfNormCriterion(1e-10))
+        np.testing.assert_allclose(res.field.interior, 2.0, atol=1e-8)
+
+
+class TestValidation:
+    def test_omega_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            solve_sor(laplace_problem(), 8, omega=2.0)
+
+    def test_exhaustion_raises(self):
+        with pytest.raises(ConvergenceError):
+            solve_sor(
+                poisson_manufactured(),
+                16,
+                criterion=InfNormCriterion(1e-14),
+                max_iterations=2,
+            )

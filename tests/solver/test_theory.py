@@ -1,0 +1,99 @@
+"""Convergence theory vs the actual solver."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
+from repro.machines.catalog import PAPER_BUS
+from repro.solver.convergence import InfNormCriterion
+from repro.solver.jacobi import solve_jacobi
+from repro.solver.problems import poisson_manufactured
+from repro.solver.sor import solve_sor
+from repro.solver.theory import (
+    estimate_jacobi_iterations,
+    estimate_solve_time,
+    estimate_sor_iterations,
+    jacobi_spectral_radius,
+    sor_spectral_radius,
+)
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+
+class TestSpectralRadii:
+    def test_jacobi_radius_value(self):
+        assert jacobi_spectral_radius(15) == pytest.approx(math.cos(math.pi / 16))
+
+    def test_radii_in_unit_interval(self):
+        for n in (4, 16, 64, 256):
+            assert 0 < sor_spectral_radius(n) < jacobi_spectral_radius(n) < 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            jacobi_spectral_radius(0)
+
+
+class TestIterationEstimates:
+    def test_jacobi_quadratic_in_n(self):
+        r = estimate_jacobi_iterations(64) / estimate_jacobi_iterations(32)
+        assert r == pytest.approx(4.0, rel=0.1)
+
+    def test_sor_linear_in_n(self):
+        r = estimate_sor_iterations(64) / estimate_sor_iterations(32)
+        assert r == pytest.approx(2.0, rel=0.15)
+
+    def test_sor_much_cheaper(self):
+        assert estimate_sor_iterations(128) * 10 < estimate_jacobi_iterations(128)
+
+    def test_reduction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            estimate_jacobi_iterations(16, reduction=1.5)
+
+
+class TestAgainstMeasurement:
+    def test_jacobi_estimate_tracks_measured_count(self):
+        """Theory and the real solver agree within ~25% (the estimate
+        models error reduction; the solver stops on update size)."""
+        n = 24
+        problem = poisson_manufactured()
+        tol = 1e-8
+        measured = solve_jacobi(
+            FIVE_POINT, problem, n, InfNormCriterion(tol), max_iterations=200_000
+        ).iterations
+        # The inf-norm update criterion stops when updates are ~tol;
+        # total error reduction from the initial O(1) error is ~tol.
+        predicted = estimate_jacobi_iterations(n, reduction=tol)
+        assert 0.5 * predicted < measured < 1.5 * predicted
+
+    def test_sor_estimate_order_of_magnitude(self):
+        n = 24
+        problem = poisson_manufactured()
+        measured = solve_sor(
+            problem, n, criterion=InfNormCriterion(1e-8)
+        ).iterations
+        predicted = estimate_sor_iterations(n, reduction=1e-8)
+        assert measured < 4 * predicted
+        assert predicted < 6 * measured
+
+
+class TestSolveEstimate:
+    def test_composition(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        est = estimate_solve_time(PAPER_BUS, w, PartitionKind.SQUARE, 16)
+        assert est.total_time == pytest.approx(est.iterations * est.cycle_time)
+        assert est.speedup_vs_serial > 1.0
+
+    def test_sor_solve_cheaper_than_jacobi(self):
+        w = Workload(n=256, stencil=FIVE_POINT)
+        jac = estimate_solve_time(PAPER_BUS, w, PartitionKind.SQUARE, 16)
+        sor = estimate_solve_time(
+            PAPER_BUS, w, PartitionKind.SQUARE, 16, algorithm="sor"
+        )
+        assert sor.total_time < jac.total_time / 10
+
+    def test_unknown_algorithm(self):
+        w = Workload(n=64, stencil=FIVE_POINT)
+        with pytest.raises(InvalidParameterError):
+            estimate_solve_time(PAPER_BUS, w, PartitionKind.SQUARE, algorithm="magic")

@@ -1,0 +1,113 @@
+"""Vectorized stencil application: correctness against direct loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import InvalidParameterError
+from repro.stencils.apply import (
+    apply_stencil,
+    apply_stencil_into,
+    ghost_width,
+    pad_with_boundary,
+    residual_sum_squares,
+)
+from repro.stencils.library import ALL_STENCILS, FIVE_POINT, NINE_POINT_STAR
+from repro.stencils.stencil import Stencil
+
+
+def reference_apply(stencil: Stencil, field: np.ndarray) -> np.ndarray:
+    """Straightforward per-point loop, the obviously-correct baseline."""
+    g = stencil.reach
+    m = field.shape[0] - 2 * g
+    n = field.shape[1] - 2 * g
+    out = np.zeros((m, n))
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for (di, dj), w in stencil.weights.items():
+                acc += w * field[g + i + di, g + j + dj]
+            out[i, j] = acc
+    return out
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("stencil", ALL_STENCILS, ids=lambda s: s.name)
+    def test_matches_loop_implementation(self, stencil):
+        rng = np.random.default_rng(42)
+        g = ghost_width(stencil)
+        field = rng.standard_normal((6 + 2 * g, 5 + 2 * g))
+        np.testing.assert_allclose(
+            apply_stencil(stencil, field), reference_apply(stencil, field), rtol=1e-13
+        )
+
+    @given(
+        interior=hnp.arrays(
+            dtype=np.float64,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=1, max_value=8),
+            ),
+            elements=st.floats(min_value=-100, max_value=100),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_five_point_property(self, interior):
+        field = np.pad(interior, 1)
+        np.testing.assert_allclose(
+            apply_stencil(FIVE_POINT, field),
+            reference_apply(FIVE_POINT, field),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+
+class TestLinearity:
+    def test_apply_is_linear(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        lhs = apply_stencil(FIVE_POINT, 2.0 * a + b)
+        rhs = 2.0 * apply_stencil(FIVE_POINT, a) + apply_stencil(FIVE_POINT, b)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-12)
+
+    def test_constant_field_preserved(self):
+        # Weight sums are 1, so constants are fixed points of every stencil.
+        for stencil in ALL_STENCILS:
+            g = ghost_width(stencil)
+            field = np.full((5 + 2 * g, 5 + 2 * g), 3.25)
+            np.testing.assert_allclose(apply_stencil(stencil, field), 3.25, rtol=1e-14)
+
+
+class TestValidation:
+    def test_geometric_stencil_rejected(self):
+        bare = Stencil(name="bare", offsets=((0, 1), (0, -1)))
+        with pytest.raises(InvalidParameterError, match="geometric-only"):
+            apply_stencil(bare, np.zeros((4, 4)))
+
+    def test_too_small_field_rejected(self):
+        with pytest.raises(InvalidParameterError, match="too small"):
+            apply_stencil(NINE_POINT_STAR, np.zeros((4, 4)))  # needs ghost 2
+
+    def test_wrong_out_shape_rejected(self):
+        with pytest.raises(InvalidParameterError, match="expected"):
+            apply_stencil_into(FIVE_POINT, np.zeros((6, 6)), np.zeros((3, 3)))
+
+
+class TestHelpers:
+    def test_pad_with_boundary_values(self):
+        interior = np.ones((3, 3))
+        padded = pad_with_boundary(interior, FIVE_POINT, value=7.0)
+        assert padded.shape == (5, 5)
+        assert padded[0, 0] == 7.0
+        assert padded[2, 2] == 1.0
+
+    def test_residual_sum_squares(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 2.0)
+        assert residual_sum_squares(a, b) == pytest.approx(16.0)
+
+    def test_ghost_width_equals_reach(self):
+        assert ghost_width(NINE_POINT_STAR) == 2

@@ -1,0 +1,78 @@
+"""The built-in stencils: paper values and numerical consistency."""
+
+import pytest
+
+from repro.stencils.library import (
+    ALL_STENCILS,
+    FIVE_POINT,
+    NINE_POINT_BOX,
+    NINE_POINT_STAR,
+    THIRTEEN_POINT,
+    by_name,
+)
+
+
+class TestPointCounts:
+    def test_five_point_reads_four_neighbours(self):
+        assert FIVE_POINT.n_points == 4  # center not read by Jacobi
+
+    def test_nine_point_box_reads_eight(self):
+        assert NINE_POINT_BOX.n_points == 8
+
+    def test_nine_point_star_reads_eight(self):
+        assert NINE_POINT_STAR.n_points == 8
+
+    def test_thirteen_point_reads_twelve(self):
+        assert THIRTEEN_POINT.n_points == 12
+
+
+class TestFlopCounts:
+    def test_paper_anchored_ratio(self):
+        # E(9pt)/E(5pt) = 2 reproduces the Figure-7 anchor (14 vs 22 procs).
+        assert NINE_POINT_BOX.flops_per_point / FIVE_POINT.flops_per_point == 2.0
+
+    def test_five_point_is_five_flops(self):
+        assert FIVE_POINT.flops_per_point == 5.0
+
+
+class TestWeights:
+    @pytest.mark.parametrize("stencil", ALL_STENCILS, ids=lambda s: s.name)
+    def test_weights_sum_to_one(self, stencil):
+        # Constant preservation: a consistent Laplace scheme reproduces
+        # constants exactly, which requires unit weight sum.
+        assert sum(stencil.weights.values()) == pytest.approx(1.0, abs=1e-15)
+
+    @pytest.mark.parametrize("stencil", ALL_STENCILS, ids=lambda s: s.name)
+    def test_weights_cover_all_offsets(self, stencil):
+        assert set(stencil.weights) == set(stencil.offsets)
+
+    @pytest.mark.parametrize("stencil", ALL_STENCILS, ids=lambda s: s.name)
+    def test_rhs_scale_positive(self, stencil):
+        assert stencil.rhs_scale > 0
+
+    @pytest.mark.parametrize("stencil", ALL_STENCILS, ids=lambda s: s.name)
+    def test_symmetry_under_rotation(self, stencil):
+        # All four stencils are 90-degree symmetric: weights invariant
+        # under (di, dj) -> (dj, -di).
+        for (di, dj), w in stencil.weights.items():
+            assert stencil.weights[(dj, -di)] == pytest.approx(w)
+
+
+class TestDiagonals:
+    def test_box_and_thirteen_have_diagonals(self):
+        assert NINE_POINT_BOX.has_diagonals
+        assert THIRTEEN_POINT.has_diagonals
+
+    def test_stars_have_none(self):
+        assert not FIVE_POINT.has_diagonals
+        assert not NINE_POINT_STAR.has_diagonals
+
+
+class TestLookup:
+    def test_by_name_roundtrip(self):
+        for s in ALL_STENCILS:
+            assert by_name(s.name) is s
+
+    def test_by_name_error_lists_known(self):
+        with pytest.raises(KeyError, match="5-point"):
+            by_name("nope")

@@ -1,0 +1,102 @@
+"""k(P, S) classification: the paper's Section-3 table, from geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stencils.library import (
+    FIVE_POINT,
+    NINE_POINT_BOX,
+    NINE_POINT_STAR,
+    THIRTEEN_POINT,
+)
+from repro.stencils.perimeter import (
+    PartitionKind,
+    boundary_points,
+    interior_volume,
+    k_table,
+    perimeters_required,
+)
+from repro.stencils.stencil import Stencil
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
+
+
+class TestPaperTable:
+    """The canonical k values (Section 3 table / Figure 3)."""
+
+    @pytest.mark.parametrize(
+        "stencil,kind,expected",
+        [
+            (FIVE_POINT, STRIP, 1),
+            (FIVE_POINT, SQUARE, 1),
+            (NINE_POINT_BOX, STRIP, 1),
+            (NINE_POINT_BOX, SQUARE, 1),
+            (NINE_POINT_STAR, STRIP, 2),
+            (NINE_POINT_STAR, SQUARE, 2),
+            (THIRTEEN_POINT, STRIP, 2),
+            (THIRTEEN_POINT, SQUARE, 2),
+        ],
+        ids=lambda v: getattr(v, "name", getattr(v, "value", v)),
+    )
+    def test_k_values(self, stencil, kind, expected):
+        assert perimeters_required(kind, stencil) == expected
+
+    def test_k_table_covers_all_pairs(self):
+        rows = k_table([FIVE_POINT, NINE_POINT_STAR])
+        assert len(rows) == 4
+        assert {(r.partition, r.stencil) for r in rows} == {
+            (STRIP, "5-point"),
+            (SQUARE, "5-point"),
+            (STRIP, "9-point-star"),
+            (SQUARE, "9-point-star"),
+        }
+
+
+class TestGeometricRules:
+    def test_strip_ignores_column_reach(self):
+        wide = Stencil(name="wide", offsets=((0, 3), (0, -3), (1, 0), (-1, 0)))
+        assert perimeters_required(STRIP, wide) == 1
+        assert perimeters_required(SQUARE, wide) == 3
+
+    @given(
+        r_row=st.integers(min_value=1, max_value=5),
+        r_col=st.integers(min_value=1, max_value=5),
+    )
+    def test_square_k_at_least_strip_k(self, r_row, r_col):
+        s = Stencil(
+            name="g",
+            offsets=((r_row, 0), (-r_row, 0), (0, r_col), (0, -r_col)),
+        )
+        assert perimeters_required(SQUARE, s) >= perimeters_required(STRIP, s)
+
+
+class TestBoundaryPoints:
+    def test_strip_formula(self):
+        assert boundary_points(STRIP, area=512, n=64, k=1) == 2 * 64
+        assert boundary_points(STRIP, area=512, n=64, k=2) == 4 * 64
+
+    def test_square_formula(self):
+        assert boundary_points(SQUARE, area=64, n=64, k=1) == pytest.approx(32.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            boundary_points(STRIP, area=0, n=64, k=1)
+        with pytest.raises(ValueError):
+            boundary_points(SQUARE, area=16, n=64, k=0)
+
+    def test_interior_volume_complement(self):
+        total = 4096
+        interior = interior_volume(SQUARE, total, 128, 1)
+        assert interior == total - 4 * 64
+
+    def test_interior_clamped_at_zero(self):
+        # A 2x2 "square" partition is all boundary under k = 1.
+        assert interior_volume(SQUARE, 4, 64, 1) == 0.0
+
+
+class TestStrEnum:
+    def test_kind_string_values(self):
+        assert str(STRIP) == "strip"
+        assert SQUARE.value == "square"

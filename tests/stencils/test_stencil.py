@@ -1,0 +1,97 @@
+"""Unit tests for the Stencil dataclass: geometry, validation, variants."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.stencils.stencil import Stencil, stencil_from_offsets
+
+
+def make(offsets, **kw):
+    return Stencil(name="test", offsets=tuple(offsets), **kw)
+
+
+class TestConstruction:
+    def test_default_flops_is_neighbours_plus_one(self):
+        s = make([(0, 1), (0, -1), (1, 0), (-1, 0)])
+        assert s.flops_per_point == 5.0
+
+    def test_explicit_flops_kept(self):
+        s = make([(0, 1)], flops_per_point=7.5)
+        assert s.flops_per_point == 7.5
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(InvalidParameterError, match="no offsets"):
+            make([])
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(InvalidParameterError, match="repeats"):
+            make([(0, 1), (0, 1)])
+
+    def test_non_integral_offsets_rejected(self):
+        with pytest.raises(InvalidParameterError, match="not integral"):
+            make([(0.5, 1)])
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            make([(0, 1)], flops_per_point=-1.0)
+
+    def test_weights_must_match_offsets(self):
+        with pytest.raises(InvalidParameterError, match="not part of the stencil"):
+            make([(0, 1)], weights={(1, 1): 0.5})
+
+    def test_helper_constructor(self):
+        s = stencil_from_offsets("h", [(0, 1), (1, 0)], flops_per_point=3)
+        assert s.name == "h"
+        assert s.flops_per_point == 3.0
+
+
+class TestGeometry:
+    def test_reach_rows_and_cols_independent(self):
+        s = make([(2, 0), (-2, 0), (0, 1), (0, -1)])
+        assert s.reach_rows == 2
+        assert s.reach_cols == 1
+        assert s.reach == 2
+
+    def test_diagonal_detection(self):
+        assert make([(1, 1)]).has_diagonals
+        assert not make([(1, 0), (0, 1)]).has_diagonals
+
+    def test_halo_offsets_excludes_center(self):
+        s = make([(0, 0), (0, 1)])
+        assert s.halo_offsets() == ((0, 1),)
+
+    def test_n_points(self):
+        assert make([(0, 1), (1, 0), (0, 0)]).n_points == 3
+
+
+class TestVariants:
+    def test_with_flops_changes_only_flops(self):
+        s = make([(0, 1)], flops_per_point=2.0)
+        t = s.with_flops(9.0)
+        assert t.flops_per_point == 9.0
+        assert t.offsets == s.offsets
+        assert s.flops_per_point == 2.0  # original untouched
+
+    def test_scaled_multiplies(self):
+        s = make([(0, 1)], flops_per_point=4.0)
+        assert s.scaled(1.5).flops_per_point == 6.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            make([(0, 1)]).scaled(0.0)
+
+    def test_scaled_custom_name(self):
+        assert make([(0, 1)]).scaled(2.0, name="double").name == "double"
+
+
+class TestAsciiArt:
+    def test_five_point_shape(self):
+        s = make([(0, 1), (0, -1), (1, 0), (-1, 0)])
+        art = s.ascii_art()
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert lines[1].split()[1] == "+"  # center marker (not in offsets)
+
+    def test_center_in_offsets_marked(self):
+        s = make([(0, 0), (0, 1)])
+        assert "o" in s.ascii_art()

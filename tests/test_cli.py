@@ -1,0 +1,75 @@
+"""CLI subcommands drive the library end to end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestMachines:
+    def test_lists_presets(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-bus" in out
+        assert "flex32" in out
+        assert "Hypercube" in out
+
+
+class TestOptimize:
+    def test_interior_allocation_reported(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--machine",
+                "paper-bus",
+                "--n",
+                "256",
+                "--max-processors",
+                "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "interior" in out
+        assert "processors" in out
+
+    def test_hypercube_uses_all(self, capsys):
+        main(["optimize", "--machine", "ipsc", "--n", "128", "--max-processors", "32"])
+        out = capsys.readouterr().out
+        assert "regime" in out
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["optimize", "--machine", "cray-1"])
+
+
+class TestPlan:
+    def test_bus_plan_contains_anchor(self, capsys):
+        main(["plan", "--machine", "paper-bus", "--n", "256"])
+        out = capsys.readouterr().out
+        assert "14" in out  # the Section 6.1 anchor
+        assert "max useful processors" in out
+
+    def test_non_bus_machine_explains_extremal(self, capsys):
+        main(["plan", "--machine", "ipsc", "--n", "256"])
+        out = capsys.readouterr().out
+        assert "extremal" in out
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        main(["experiments", "--list"])
+        out = capsys.readouterr().out
+        assert "E-FIG7" in out
+        assert "E-TAB1" in out
+
+    def test_run_one(self, capsys):
+        main(["experiments", "E-KTAB"])
+        out = capsys.readouterr().out
+        assert "[E-KTAB]" in out
+        assert "5-point" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

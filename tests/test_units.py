@@ -1,0 +1,99 @@
+"""Formatting and integer helpers in repro.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    ceil_div,
+    format_count,
+    format_time,
+    geometric_span,
+    is_power_of_two,
+    log2_int,
+    next_power_of_two,
+)
+
+
+class TestFormatTime:
+    def test_scales(self):
+        assert format_time(1.5) == "1.5s"
+        assert format_time(3.2e-3) == "3.2ms"
+        assert format_time(3.2e-5) == "32us"
+        assert format_time(5e-8) == "50ns"
+
+    def test_zero_and_negative(self):
+        assert format_time(0.0) == "0s"
+        assert format_time(-2e-3) == "-2ms"
+
+
+class TestFormatCount:
+    def test_integers_get_separators(self):
+        assert format_count(12345) == "12,345"
+
+    def test_fractions_keep_decimals(self):
+        assert format_count(12.5) == "12.50"
+
+
+class TestLog2Int:
+    def test_powers(self):
+        assert log2_int(1) == 0
+        assert log2_int(1024) == 10
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(12)
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+    @given(e=st.integers(min_value=0, max_value=40))
+    def test_roundtrip(self, e):
+        assert log2_int(1 << e) == e
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(64)
+        assert not is_power_of_two(63)
+        assert not is_power_of_two(0)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(9) == 16
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(v=st.integers(min_value=1, max_value=1 << 30))
+    def test_next_power_bounds(self, v):
+        p = next_power_of_two(v)
+        assert is_power_of_two(p)
+        assert p >= v
+        assert p < 2 * v or v == 1
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestGeometricSpan:
+    def test_endpoints_included(self):
+        span = geometric_span(1.0, 100.0, 3)
+        assert span[0] == pytest.approx(1.0)
+        assert span[-1] == pytest.approx(100.0)
+        assert span[1] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_span(0.0, 10.0, 3)
+        with pytest.raises(ValueError):
+            geometric_span(10.0, 1.0, 3)
+
+    def test_single_point(self):
+        assert geometric_span(2.0, 8.0, 1) == [2.0]
