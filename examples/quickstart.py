@@ -93,6 +93,34 @@ def main() -> None:
         "strips: contention for the single bus caps scaling regardless of\n"
         "processor count — the paper's case against buses for large PDEs."
     )
+    print()
+
+    # ------------------------------------------------------ batched sweeps
+    # Dense curve families come from the batch engine: one vectorized
+    # call per machine over a full (N, P) grid — the same example as the
+    # repro.batch package docstring.
+    import numpy as np
+
+    from repro.batch import SweepSpec, run_sweep
+
+    spec = SweepSpec.across_catalog(
+        grid_sides=[128, 256, 512, 1024],
+        processors=np.arange(1, 257),
+    )
+    result = run_sweep(spec)
+    speedup = result.speedup("paper-bus")  # shape (4, 256)
+    best_p = np.argmax(speedup, axis=1) + 1  # optimal P per grid side
+    rows = [
+        (n, int(best_p[i]), round(float(speedup[i, best_p[i] - 1]), 2))
+        for i, n in enumerate(spec.grid_sides)
+    ]
+    print(
+        format_table(
+            ["n", "best P on the grid", "speedup there"],
+            rows,
+            title="Batched (N, P) sweep on the bus: 256 processor counts at once",
+        )
+    )
 
 
 if __name__ == "__main__":

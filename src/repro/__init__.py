@@ -27,6 +27,8 @@ Subpackages
     Architecture models: hypercube, mesh, sync/async bus, banyan.
 ``repro.core``
     Cycle times, allocation optimization, speedup and scaling laws.
+``repro.batch``
+    Batched sweep engine: dense (N, P, machine) grids, vectorized.
 ``repro.solver``
     A real Jacobi/SOR Poisson solver with partitioned execution.
 ``repro.sim``

@@ -1,0 +1,72 @@
+"""repro.batch — batched sweep engine over (N, P, machine, stencil) grids.
+
+Everything the paper plots is a curve family over problem size ``n``,
+processor count ``P``, and architecture.  This package evaluates those
+families *densely and vectorized*: one NumPy-broadcast call per machine
+instead of a Python loop per point, which is 10–100× faster on the
+grids the experiments sweep and is the substrate future scaling PRs
+(result caching, sharded sweeps, new workloads) build on.
+
+Usage::
+
+    import numpy as np
+    from repro.batch import SweepSpec, run_sweep
+
+    # Cycle time / speedup / efficiency surfaces for the whole catalog
+    # over a dense (N, P) grid — one vectorized call per machine.
+    spec = SweepSpec.across_catalog(
+        grid_sides=[128, 256, 512, 1024],
+        processors=np.arange(1, 257),
+    )
+    result = run_sweep(spec)
+    s = result.speedup("paper-bus")        # shape (4, 256)
+    e = result.efficiency("butterfly")     # S(n, P) / P
+    best_p = np.argmax(s, axis=1) + 1      # optimal P per grid side
+
+    # Vectorized closed forms the experiments consume directly:
+    from repro.batch import optimal_speedup_curve
+    from repro.machines.catalog import PAPER_BUS
+    from repro.stencils.library import FIVE_POINT
+    from repro.stencils.perimeter import PartitionKind
+
+    curve = optimal_speedup_curve(
+        PAPER_BUS, FIVE_POINT, PartitionKind.SQUARE, [256, 1024, 4096]
+    )
+    curve.speedup      # == optimal_speedup(...) per n, bit for bit
+
+The same example lives runnable in ``examples/quickstart.py``.
+
+Design contract
+---------------
+Batched results match the scalar ``core``/``machines`` paths **bit for
+bit**: the vectorized code transcribes the same floating-point
+operations in the same order, so experiments rewired onto this engine
+emit numerically identical CSV artifacts.  ``tests/batch`` enforces the
+equivalence on randomized (n, P, architecture) grids.
+"""
+
+from repro.batch.curves import (
+    OptimalSpeedupCurve,
+    RectangleErrorCurve,
+    bus_optimal_area_curve,
+    k_matrix,
+    minimal_grid_side_curve,
+    optimal_speedup_curve,
+    rectangle_error_curves,
+    table1_speedup_curve,
+)
+from repro.batch.engine import SweepSpec, SweepResult, run_sweep
+
+__all__ = [
+    "OptimalSpeedupCurve",
+    "RectangleErrorCurve",
+    "SweepResult",
+    "SweepSpec",
+    "bus_optimal_area_curve",
+    "k_matrix",
+    "minimal_grid_side_curve",
+    "optimal_speedup_curve",
+    "rectangle_error_curves",
+    "run_sweep",
+    "table1_speedup_curve",
+]

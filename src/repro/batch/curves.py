@@ -1,0 +1,342 @@
+"""Vectorized closed-form curves: the experiments' per-point loops, batched.
+
+Each function here replaces a hand-rolled Python loop in an experiment
+with one broadcast evaluation, while reproducing the scalar path's
+floating-point results *exactly* (same operations, same order).  The
+figure/table experiments consume these; ``tests/batch`` pins the
+scalar equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import DEFAULT_T_FLOP
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.machines.bus import AsynchronousBus, BusArchitecture, SynchronousBus
+from repro.partitioning.rectangles import (
+    DEFAULT_PERIMETER_TOLERANCE,
+    working_rectangles,
+)
+from repro.stencils.perimeter import PartitionKind
+from repro.stencils.stencil import Stencil
+
+__all__ = [
+    "OptimalSpeedupCurve",
+    "optimal_speedup_curve",
+    "bus_optimal_area_curve",
+    "minimal_grid_side_curve",
+    "table1_speedup_curve",
+    "k_matrix",
+    "RectangleErrorCurve",
+    "rectangle_error_curves",
+]
+
+
+def _libm_pow(values: np.ndarray, exponent: float) -> np.ndarray:
+    """Elementwise ``x ** exponent`` through libm, not NumPy's SIMD pow.
+
+    NumPy's vectorized ``power`` can differ from libm's by 1 ULP on
+    fractional exponents, while the scalar closed forms use Python's
+    ``**`` (libm).  The curves promise bit-identical artifacts, so the
+    handful of fractional powers on these small 1-D axes go through
+    libm; the dense (N, P) surfaces only ever need ``sqrt``/``log2``,
+    which are correctly rounded in both paths.
+    """
+    arr = np.asarray(values, dtype=float)
+    out = np.array([math.pow(v, exponent) for v in arr.ravel()])
+    return out.reshape(arr.shape)
+
+
+# --------------------------------------------------------------------------
+# Optimal allocation / speedup over a grid-side sweep
+# --------------------------------------------------------------------------
+
+
+def bus_optimal_area_curve(
+    machine: BusArchitecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+) -> np.ndarray:
+    """Unconstrained continuous optimal partition areas, vectorized over n.
+
+    Transcribes :meth:`SynchronousBus.optimal_area` /
+    :meth:`AsynchronousBus.optimal_area` with ``n`` as an array.  Cases
+    without a broadcastable closed form — the synchronous square cubic
+    with ``c ≠ 0``, and bus subclasses with their own optima (e.g. the
+    fully asynchronous extension) — fall back to the machine's scalar
+    ``optimal_area`` per element, so every bus the scalar optimizer
+    handles works here too.
+    """
+    n = np.asarray(grid_sides, dtype=float)
+    et = stencil.flops_per_point * t_flop
+    # Exact-type checks: a subclass may override optimal_area, in which
+    # case the parent's closed form would silently be wrong for it.
+    if type(machine) is AsynchronousBus:
+        if kind is PartitionKind.STRIP:
+            k = stencil.reach_rows
+            coeff = 2.0 * k * machine.b * (n * n * n)
+            return np.sqrt(coeff / et)
+        k = stencil.reach
+        side = _libm_pow(4.0 * k * machine.b * n**2 / et, 1.0 / 3.0)
+        return side**2
+    if type(machine) is SynchronousBus:
+        v = 2.0 * (2 if machine.volume_mode == "read_write" else 1)
+        if kind is PartitionKind.STRIP:
+            k = stencil.reach_rows
+            coeff = v * k * machine.b * (n * n * n)
+            return np.sqrt(coeff / et)
+        k = stencil.reach
+        if machine.c == 0.0:
+            side = _libm_pow(v * k * machine.b * n**2 / et, 1.0 / 3.0)
+            return side**2
+    if isinstance(machine, BusArchitecture):
+        from repro.core.parameters import Workload
+
+        return np.array(
+            [
+                machine.optimal_area(
+                    Workload(n=int(nn), stencil=stencil, t_flop=t_flop), kind
+                )
+                for nn in n
+            ]
+        )
+    raise InvalidParameterError(
+        f"no closed-form optimal area for {type(machine).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class OptimalSpeedupCurve:
+    """Optimal-allocation arrays over a grid-side sweep.
+
+    Element ``i`` equals the scalar
+    :func:`repro.core.speedup.optimal_speedup` at ``grid_sides[i]``
+    bit for bit.
+    """
+
+    grid_sides: np.ndarray
+    speedup: np.ndarray
+    processors: np.ndarray
+    area: np.ndarray
+    cycle_time: np.ndarray
+    regime: tuple[str, ...]
+
+
+def optimal_speedup_curve(
+    machine: Architecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+    max_processors: float | None = None,
+) -> OptimalSpeedupCurve:
+    """Vectorized :func:`repro.core.speedup.optimal_speedup` over ``n``.
+
+    Evaluates every candidate area (range endpoints plus the bus interior
+    optimum) across the whole sweep in stacked broadcast calls, then
+    selects per grid side with the scalar optimizer's exact tie-breaking
+    (first strict minimum; serial run wins ties).
+    """
+    n = np.asarray(grid_sides, dtype=float)
+    if np.any(n < 1):
+        raise InvalidParameterError("grid sides must be >= 1")
+    n2 = n * n
+    a_min = n.copy() if kind is PartitionKind.STRIP else np.ones_like(n)
+    if max_processors is not None:
+        if max_processors < 1:
+            raise InvalidParameterError("max_processors must be >= 1")
+        a_min = np.maximum(a_min, n2 / max_processors)
+    a_min = np.minimum(a_min, n2)
+    a_max = n2
+
+    candidates = [a_min, a_max]
+    if isinstance(machine, BusArchitecture):
+        a_star = bus_optimal_area_curve(machine, stencil, kind, grid_sides, t_flop)
+        inside = (a_min < a_star) & (a_star < a_max)
+        # Outside the range the endpoint candidates already cover it; a
+        # duplicate of a_min keeps the stack rectangular without
+        # changing the argmin (first occurrence wins).
+        candidates.append(np.where(inside, a_star, a_min))
+    elif not machine.monotone_in_processors:  # pragma: no cover - no such preset
+        raise InvalidParameterError(
+            "non-monotone non-bus machines need the scalar optimizer"
+        )
+
+    times = np.stack(
+        [
+            machine.cycle_time_area_grid(stencil, t_flop, kind, n, a)
+            for a in candidates
+        ]
+    )
+    areas = np.stack(candidates)
+    best_idx = np.argmin(times, axis=0)
+    cols = np.arange(n.size)
+    best_time = times[best_idx, cols]
+    best_area = areas[best_idx, cols]
+
+    serial = stencil.flops_per_point * n2 * t_flop
+    one = serial <= best_time
+
+    speedup = np.where(one, 1.0, serial / best_time)
+    processors = np.where(one, 1.0, n2 / best_area)
+    area = np.where(one, n2, best_area)
+    cycle_time = np.where(one, serial, best_time)
+    # math.isclose semantics (not np.isclose, whose additive atol+rtol
+    # envelope is wider), so the regime labels match the scalar
+    # optimizer's classification exactly.
+    at_cap = np.abs(best_area - a_min) <= np.maximum(
+        1e-9 * np.maximum(np.abs(best_area), np.abs(a_min)), 1e-9
+    )
+    regime = tuple(
+        "one" if o else ("all" if cap else "interior")
+        for o, cap in zip(one, at_cap)
+    )
+    return OptimalSpeedupCurve(
+        grid_sides=n.astype(int),
+        speedup=speedup,
+        processors=processors,
+        area=area,
+        cycle_time=cycle_time,
+        regime=regime,
+    )
+
+
+def table1_speedup_curve(
+    machine: Architecture,
+    stencil: Stencil,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.scaling.table1_optimal_speedup`.
+
+    Buses take their interior optimum; monotone machines run one point
+    per processor (Table I's convention), all over square partitions.
+    """
+    if isinstance(machine, BusArchitecture):
+        return optimal_speedup_curve(
+            machine, stencil, PartitionKind.SQUARE, grid_sides, t_flop
+        ).speedup
+    n = np.asarray(grid_sides, dtype=float)
+    n2 = n * n
+    serial = stencil.flops_per_point * n2 * t_flop
+    cycle = machine.cycle_time_area_grid(
+        stencil, t_flop, PartitionKind.SQUARE, n, np.ones_like(n)
+    )
+    return serial / cycle
+
+
+# --------------------------------------------------------------------------
+# Figure-7 minimal problem sizes
+# --------------------------------------------------------------------------
+
+
+def minimal_grid_side_curve(
+    machine: BusArchitecture,
+    stencil_k: int,
+    flops_per_point: float,
+    t_flop: float,
+    n_processors: Sequence[int],
+    kind: PartitionKind,
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.minimal_size.minimal_grid_side`.
+
+    ``n_min = v·k·b·N² / (E·T_fp)`` (strips) or ``∝ N^(3/2)`` (squares),
+    broadcast over the processor-count axis.
+    """
+    from repro.core.minimal_size import _volume_coefficient
+
+    p = np.asarray(n_processors, dtype=float)
+    if np.any(p < 1):
+        raise InvalidParameterError("n_processors must be >= 1")
+    v = _volume_coefficient(machine, kind)
+    et = flops_per_point * t_flop
+    if kind is PartitionKind.STRIP:
+        return v * stencil_k * machine.b * p**2 / et
+    return v * stencil_k * machine.b * _libm_pow(p, 1.5) / et
+
+
+# --------------------------------------------------------------------------
+# The k(P, S) classification, batched over the stencil library
+# --------------------------------------------------------------------------
+
+
+def k_matrix(
+    stencils: Sequence[Stencil],
+    kinds: Sequence[PartitionKind] = (PartitionKind.STRIP, PartitionKind.SQUARE),
+) -> np.ndarray:
+    """``k(P, S)`` for all (stencil, partition) pairs in one shot.
+
+    Shape ``(len(stencils), len(kinds))``; strips read the row reach,
+    squares the Chebyshev reach — the Section-3 rule as column selects
+    over the stencil library's reach vectors.
+    """
+    reach_rows = np.array([s.reach_rows for s in stencils], dtype=int)
+    reach = np.array([s.reach for s in stencils], dtype=int)
+    columns = [
+        reach_rows if kind is PartitionKind.STRIP else reach for kind in kinds
+    ]
+    return np.stack(columns, axis=1)
+
+
+# --------------------------------------------------------------------------
+# Figure-6 working-rectangle error series
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RectangleErrorCurve:
+    """Figure-6 error series as parallel arrays over the target areas."""
+
+    target_areas: np.ndarray
+    heights: np.ndarray
+    widths: np.ndarray
+    area_errors: np.ndarray
+    perimeter_errors: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.target_areas.size)
+
+
+def rectangle_error_curves(
+    n: int,
+    areas: Sequence[int],
+    tolerance: float = DEFAULT_PERIMETER_TOLERANCE,
+) -> RectangleErrorCurve:
+    """Vectorized :func:`repro.partitioning.rectangles.approximation_errors`.
+
+    The working set is sorted and unique per area, so the closest
+    rectangle for every target is found with one ``searchsorted`` over
+    the whole sweep; ties prefer the smaller area, matching the scalar
+    selection rule.
+    """
+    rects = working_rectangles(n, tolerance)
+    r_area = np.array([r.area for r in rects], dtype=float)
+    r_height = np.array([r.height for r in rects], dtype=int)
+    r_width = np.array([r.width for r in rects], dtype=int)
+    r_perimeter = np.array([r.perimeter for r in rects], dtype=float)
+
+    targets = np.asarray(list(areas), dtype=int)
+    t = targets.astype(float)
+    idx = np.searchsorted(r_area, t)
+    left = np.clip(idx - 1, 0, r_area.size - 1)
+    right = np.clip(idx, 0, r_area.size - 1)
+    d_left = np.abs(r_area[left] - t)
+    d_right = np.abs(r_area[right] - t)
+    pick = np.where(d_left <= d_right, left, right)
+
+    ideal_perimeter = 4.0 * _libm_pow(t, 0.5)
+    return RectangleErrorCurve(
+        target_areas=targets,
+        heights=r_height[pick],
+        widths=r_width[pick],
+        area_errors=np.abs(r_area[pick] - t) / t,
+        perimeter_errors=np.abs(r_perimeter[pick] - ideal_perimeter) / ideal_perimeter,
+    )

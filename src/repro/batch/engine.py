@@ -1,0 +1,182 @@
+"""The batched sweep engine: dense (N, P, machine) grids in one call.
+
+The paper's artifacts are families of curves — cycle time, speedup,
+efficiency — over problem size ``n`` and processor count ``P`` across a
+machine catalog.  :class:`SweepSpec` names such a family; ``run_sweep``
+evaluates the whole family through the machines' vectorized grid API
+(:meth:`repro.machines.base.Architecture.cycle_time_grid`) with one
+NumPy-broadcast call per machine, and :class:`SweepResult` holds the
+dense arrays plus derived speedup/efficiency surfaces.
+
+Scalar-equivalence contract: every cell of a sweep equals the scalar
+path (``Workload`` + ``Architecture.cycle_time``) bit for bit — the
+grid methods transcribe the same floating-point operations in the same
+order.  ``tests/batch/`` enforces this on randomized grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.parameters import DEFAULT_T_FLOP
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.machines.catalog import DEFAULT_MACHINES, by_name
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+from repro.stencils.stencil import Stencil
+
+__all__ = ["SweepSpec", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A dense (grid side × processor count × machine) evaluation grid.
+
+    Attributes
+    ----------
+    grid_sides:
+        Problem sizes ``n`` (the grid is ``n × n``), the sweep's first
+        axis.
+    processors:
+        Processor counts ``P``, the second axis.  ``P = 1`` rows map to
+        the serial time.
+    machines:
+        Ordered ``(name, machine)`` pairs — the catalog slice to sweep.
+    stencil, kind, t_flop:
+        Shared workload parameters.
+    """
+
+    grid_sides: tuple[int, ...]
+    processors: tuple[float, ...]
+    machines: tuple[tuple[str, Architecture], ...]
+    stencil: Stencil = FIVE_POINT
+    kind: PartitionKind = PartitionKind.SQUARE
+    t_flop: float = DEFAULT_T_FLOP
+
+    def __post_init__(self) -> None:
+        if not self.grid_sides or not self.processors or not self.machines:
+            raise InvalidParameterError(
+                "a sweep needs at least one grid side, processor count, and machine"
+            )
+        if any(n < 1 for n in self.grid_sides):
+            raise InvalidParameterError("grid sides must be >= 1")
+        if any(p < 1 for p in self.processors):
+            raise InvalidParameterError("processor counts must be >= 1")
+        if self.t_flop <= 0:
+            raise InvalidParameterError("t_flop must be positive")
+        names = [name for name, _ in self.machines]
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"duplicate machine names in sweep: {names}")
+
+    @classmethod
+    def across_catalog(
+        cls,
+        grid_sides: Sequence[int],
+        processors: Sequence[float],
+        machines: Mapping[str, Architecture] | Sequence[str] | None = None,
+        stencil: Stencil = FIVE_POINT,
+        kind: PartitionKind = PartitionKind.SQUARE,
+        t_flop: float = DEFAULT_T_FLOP,
+    ) -> "SweepSpec":
+        """Spec over named catalog machines (default: the whole catalog)."""
+        if machines is None:
+            pairs = tuple(sorted(DEFAULT_MACHINES.items()))
+        elif isinstance(machines, Mapping):
+            pairs = tuple(machines.items())
+        else:
+            pairs = tuple((name, by_name(name)) for name in machines)
+        return cls(
+            grid_sides=tuple(int(n) for n in grid_sides),
+            processors=tuple(float(p) for p in processors),
+            machines=pairs,
+            stencil=stencil,
+            kind=kind,
+            t_flop=t_flop,
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(len(grid_sides), len(processors)) — one surface per machine."""
+        return (len(self.grid_sides), len(self.processors))
+
+
+@dataclass(frozen=True, eq=False)
+class SweepResult:
+    """Dense cycle-time surfaces plus derived speedup/efficiency.
+
+    ``cycle_times[name]`` has :attr:`SweepSpec.shape` — rows follow
+    ``spec.grid_sides``, columns ``spec.processors``.
+    """
+
+    spec: SweepSpec
+    cycle_times: dict[str, np.ndarray] = field(repr=False)
+
+    @property
+    def machine_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.spec.machines)
+
+    @property
+    def serial_times(self) -> np.ndarray:
+        """One-processor iteration time per grid side."""
+        n = np.asarray(self.spec.grid_sides, dtype=float)
+        return self.spec.stencil.flops_per_point * (n * n) * self.spec.t_flop
+
+    def cycle_time(self, machine: str) -> np.ndarray:
+        try:
+            return self.cycle_times[machine]
+        except KeyError:
+            raise InvalidParameterError(
+                f"sweep has no machine {machine!r}; machines: {list(self.machine_names)}"
+            ) from None
+
+    def speedup(self, machine: str) -> np.ndarray:
+        """``S(n, P) = t_serial(n) / t_cycle(n, P)``."""
+        return self.serial_times[:, None] / self.cycle_time(machine)
+
+    def efficiency(self, machine: str) -> np.ndarray:
+        """``S(n, P) / P``."""
+        return self.speedup(machine) / np.asarray(self.spec.processors, dtype=float)
+
+    def feasible(self) -> np.ndarray:
+        """Partitions at least one strip row (or one point) per processor.
+
+        The analytic formulas extend continuously below this floor, so
+        infeasible cells still hold finite numbers; this mask lets
+        consumers exclude them.
+        """
+        n = np.asarray(self.spec.grid_sides, dtype=float)[:, None]
+        p = np.asarray(self.spec.processors, dtype=float)[None, :]
+        cap = n if self.spec.kind is PartitionKind.STRIP else n * n
+        return p <= cap
+
+    def iter_rows(self) -> Iterator[tuple[object, ...]]:
+        """Long-form rows: (machine, n, P, cycle time, speedup, efficiency)."""
+        for name in self.machine_names:
+            t = self.cycle_time(name)
+            s = self.speedup(name)
+            e = self.efficiency(name)
+            for i, n in enumerate(self.spec.grid_sides):
+                for j, p in enumerate(self.spec.processors):
+                    yield (name, n, p, t[i, j].item(), s[i, j].item(), e[i, j].item())
+
+    def headers(self) -> tuple[str, ...]:
+        return ("machine", "n", "processors", "cycle time", "speedup", "efficiency")
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Evaluate the full (N, P) grid for every machine in the spec.
+
+    One vectorized ``cycle_time_grid`` call per machine — no Python-level
+    loop over grid cells anywhere.
+    """
+    n = np.asarray(spec.grid_sides, dtype=float)[:, None]
+    p = np.asarray(spec.processors, dtype=float)[None, :]
+    surfaces = {
+        name: machine.cycle_time_grid(spec.stencil, spec.t_flop, spec.kind, n, p)
+        for name, machine in spec.machines
+    }
+    return SweepResult(spec=spec, cycle_times=surfaces)

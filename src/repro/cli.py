@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.core.allocation import optimize_allocation
 from repro.core.minimal_size import max_useful_processors, minimal_grid_side
@@ -121,7 +122,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_all
+    from repro.experiments.runner import run_and_report
 
     if args.list:
         from repro.experiments import all_experiments
@@ -129,10 +130,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         for exp_id in sorted(all_experiments()):
             print(exp_id)
         return 0
-    for report in run_all(ids=args.ids or None):
-        print(report)
-        print()
-    return 0
+    return run_and_report(args.output, args.ids or None, jobs=args.jobs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiments", help="run paper experiments")
     exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     exp.add_argument("--list", action="store_true")
+    exp.add_argument("--output", type=Path, default=None, help="CSV directory")
+    exp.add_argument(
+        "--jobs", type=int, default=1, help="experiments to run concurrently"
+    )
     exp.set_defaults(func=_cmd_experiments)
 
     return parser

@@ -12,18 +12,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.batch import rectangle_error_curves
 from repro.experiments.registry import ExperimentResult, register
-from repro.partitioning.rectangles import approximation_errors
 
 __all__ = ["run_figure6"]
 
 
 def _grid_summary(n: int, lo: int, hi: int, step: int = 2):
-    areas = range(lo, hi + 1, step)
-    errors = approximation_errors(n, areas)
-    area_err = np.array([e.area_error for e in errors])
-    perim_err = np.array([e.perimeter_error for e in errors])
-    return errors, area_err, perim_err
+    # The whole area sweep resolves in one batched searchsorted pass.
+    curve = rectangle_error_curves(n, range(lo, hi + 1, step))
+    return curve, curve.area_errors, curve.perimeter_errors
 
 
 @register("E-FIG6")
@@ -68,16 +66,16 @@ def run_figure6(full_series: bool = False) -> ExperimentResult:
         summary_rows,
     )
     if full_series:
-        errors, _, _ = _grid_summary(256, 1024, 16384, step=2)
+        curve, _, _ = _grid_summary(256, 1024, 16384, step=2)
         series_rows = [
             (
-                e.target_area,
-                e.rectangle.height,
-                e.rectangle.width,
-                e.area_error,
-                e.perimeter_error,
+                int(curve.target_areas[i]),
+                int(curve.heights[i]),
+                int(curve.widths[i]),
+                curve.area_errors[i].item(),
+                curve.perimeter_errors[i].item(),
             )
-            for e in errors
+            for i in range(len(curve))
         ]
         result.add_table(
             "series n=256",

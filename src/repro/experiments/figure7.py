@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import math
 
+from repro.batch import minimal_grid_side_curve
 from repro.core.minimal_size import (
     max_useful_processors,
-    minimal_grid_side,
     minimal_grid_size_numeric,
 )
 from repro.core.parameters import Workload
@@ -49,18 +49,23 @@ def run_figure7(
     )
     for stencil in (FIVE_POINT, NINE_POINT_BOX):
         template = Workload(n=2, stencil=stencil)
+        # One batched call per configuration sweeps the whole N axis.
+        n_mins = {
+            label: minimal_grid_side_curve(
+                machine,
+                template.k(kind),
+                stencil.flops_per_point,
+                template.t_flop,
+                processor_counts,
+                kind,
+            )
+            for label, machine, kind in _CONFIGS
+        }
         rows = []
-        for n_procs in processor_counts:
+        for i, n_procs in enumerate(processor_counts):
             row: list[object] = [n_procs]
             for label, machine, kind in _CONFIGS:
-                n_min = minimal_grid_side(
-                    machine,
-                    template.k(kind),
-                    stencil.flops_per_point,
-                    template.t_flop,
-                    n_procs,
-                    kind,
-                )
+                n_min = n_mins[label][i].item()
                 row.append(math.log2(max(n_min, 1.0) ** 2))
                 if verify_numeric and n_procs <= 8:
                     numeric = minimal_grid_size_numeric(

@@ -13,9 +13,8 @@ from __future__ import annotations
 
 import math
 
-from repro.core.parameters import Workload
+from repro.batch import optimal_speedup_curve
 from repro.core.scaling import fit_scaling_exponent
-from repro.core.speedup import optimal_speedup
 from repro.experiments.registry import ExperimentResult, register
 from repro.machines.catalog import PAPER_BUS
 from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
@@ -36,31 +35,28 @@ def run_figure8(
     grid_sides = [int(round(2 ** (e / 2.0))) for e in range(lo, hi + 1)]
 
     for stencil in (FIVE_POINT, NINE_POINT_BOX):
-        rows = []
+        # One batched call per partition shape sweeps the whole size axis.
+        sq = optimal_speedup_curve(
+            PAPER_BUS, stencil, PartitionKind.SQUARE, grid_sides
+        )
+        st = optimal_speedup_curve(PAPER_BUS, stencil, PartitionKind.STRIP, grid_sides)
         series: dict[str, list[float]] = {
-            "procs sq": [],
-            "procs st": [],
-            "speedup sq": [],
-            "speedup st": [],
+            "procs sq": [v.item() for v in sq.processors],
+            "procs st": [v.item() for v in st.processors],
+            "speedup sq": [v.item() for v in sq.speedup],
+            "speedup st": [v.item() for v in st.speedup],
         }
-        for n in grid_sides:
-            w = Workload(n=n, stencil=stencil)
-            sq = optimal_speedup(PAPER_BUS, w, PartitionKind.SQUARE)
-            st = optimal_speedup(PAPER_BUS, w, PartitionKind.STRIP)
-            series["procs sq"].append(sq.processors)
-            series["procs st"].append(st.processors)
-            series["speedup sq"].append(sq.speedup)
-            series["speedup st"].append(st.speedup)
-            rows.append(
-                (
-                    round(math.log2(n * n), 2),
-                    n,
-                    sq.processors,
-                    sq.speedup,
-                    st.processors,
-                    st.speedup,
-                )
+        rows = [
+            (
+                round(math.log2(n * n), 2),
+                n,
+                series["procs sq"][i],
+                series["speedup sq"][i],
+                series["procs st"][i],
+                series["speedup st"][i],
             )
+            for i, n in enumerate(grid_sides)
+        ]
         result.add_table(
             f"curves — {stencil.name}",
             [

@@ -8,11 +8,14 @@ computes them).  Also renders Figure 1/Figure 3's stencil footprints.
 
 from __future__ import annotations
 
+from repro.batch import k_matrix
 from repro.experiments.registry import ExperimentResult, register
 from repro.stencils.library import ALL_STENCILS
-from repro.stencils.perimeter import PartitionKind, k_table
+from repro.stencils.perimeter import PartitionKind
 
 __all__ = ["run_ktable"]
+
+_KINDS = (PartitionKind.STRIP, PartitionKind.SQUARE)
 
 
 @register("E-KTAB")
@@ -21,9 +24,12 @@ def run_ktable() -> ExperimentResult:
         experiment_id="E-KTAB",
         title="k(Partition, Stencil): perimeters communicated per iteration",
     )
+    # The whole classification table in one batched reach lookup.
+    km = k_matrix(ALL_STENCILS, _KINDS)
     rows = [
-        (row.partition.value, row.stencil, row.k)
-        for row in k_table(ALL_STENCILS)
+        (kind.value, stencil.name, int(km[i, j]))
+        for i, stencil in enumerate(ALL_STENCILS)
+        for j, kind in enumerate(_KINDS)
     ]
     result.add_table("k values", ["partition", "stencil", "k"], rows)
 

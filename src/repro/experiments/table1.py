@@ -20,9 +20,8 @@ from __future__ import annotations
 
 import math
 
-from repro.core.parameters import Workload
-from repro.core.scaling import fit_scaling_exponent, table1_optimal_speedup
-from repro.core.speedup import optimal_speedup
+from repro.batch import optimal_speedup_curve, table1_speedup_curve
+from repro.core.scaling import fit_scaling_exponent
 from repro.experiments.registry import ExperimentResult, register
 from repro.machines.banyan import BanyanNetwork
 from repro.machines.bus import AsynchronousBus, SynchronousBus
@@ -52,16 +51,15 @@ def run_table1(
         title="Optimal speedup by architecture (Table I)",
     )
     grid_sides = [2**e for e in grid_exponents]
-    speedups: dict[str, list[float]] = {name: [] for name, _ in TABLE1_MACHINES}
-    rows = []
-    for n in grid_sides:
-        w = Workload(n=n, stencil=FIVE_POINT)
-        row: list[object] = [n, n * n]
-        for name, machine in TABLE1_MACHINES:
-            s = table1_optimal_speedup(machine, w)
-            speedups[name].append(s)
-            row.append(s)
-        rows.append(tuple(row))
+    # One batched call per machine evaluates the whole size sweep.
+    speedups: dict[str, list[float]] = {
+        name: [v.item() for v in table1_speedup_curve(machine, FIVE_POINT, grid_sides)]
+        for name, machine in TABLE1_MACHINES
+    }
+    rows = [
+        tuple([n, n * n] + [speedups[name][i] for name, _ in TABLE1_MACHINES])
+        for i, n in enumerate(grid_sides)
+    ]
     result.add_table(
         "optimal speedup vs grid size (square partitions)",
         ["n", "n^2"] + [name for name, _ in TABLE1_MACHINES],
@@ -87,17 +85,17 @@ def run_table1(
     )
 
     # The paper's headline ratios at a large problem size.
-    w_big = Workload(n=grid_sides[-1], stencil=FIVE_POINT)
+    n_big = [grid_sides[-1]]
     sync = dict(TABLE1_MACHINES)["synchronous bus"]
     asyn = dict(TABLE1_MACHINES)["asynchronous bus"]
     ratio_sq = (
-        optimal_speedup(asyn, w_big, PartitionKind.SQUARE).speedup
-        / optimal_speedup(sync, w_big, PartitionKind.SQUARE).speedup
-    )
+        optimal_speedup_curve(asyn, FIVE_POINT, PartitionKind.SQUARE, n_big).speedup[0]
+        / optimal_speedup_curve(sync, FIVE_POINT, PartitionKind.SQUARE, n_big).speedup[0]
+    ).item()
     ratio_st = (
-        optimal_speedup(asyn, w_big, PartitionKind.STRIP).speedup
-        / optimal_speedup(sync, w_big, PartitionKind.STRIP).speedup
-    )
+        optimal_speedup_curve(asyn, FIVE_POINT, PartitionKind.STRIP, n_big).speedup[0]
+        / optimal_speedup_curve(sync, FIVE_POINT, PartitionKind.STRIP, n_big).speedup[0]
+    ).item()
     result.add_table(
         "async/sync optimal-speedup ratios",
         ["partition", "computed", "paper"],

@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.core.parameters import Workload
 from repro.errors import InvalidParameterError
-from repro.machines.base import Architecture, validate_area
+from repro.machines.base import (
+    Architecture,
+    perimeter_words_grid,
+    validate_area,
+    validate_area_grid,
+)
 from repro.stencils.perimeter import PartitionKind
 
 __all__ = ["BanyanNetwork"]
@@ -78,3 +83,20 @@ class BanyanNetwork(Architecture):
         validate_area(workload, area)
         processors = workload.grid_points / np.asarray(area, dtype=float)
         return self.read_volume(workload, kind, area) * self.read_word_time(processors)
+
+    # ------------------------------------------------------------- grid API
+
+    def communication_time_grid(self, stencil, t_flop, kind, n, area) -> Any:
+        """Broadcast ``t_a`` over (grid side, area) arrays: the read
+        volume at ``2·w·log2(n²/A)`` per word."""
+        if self._overrides_any(
+            BanyanNetwork, "communication_time", "read_volume", "read_word_time", "stages"
+        ):
+            return Architecture.communication_time_grid(
+                self, stencil, t_flop, kind, n, area
+            )
+        n_arr = np.asarray(n, dtype=float)
+        validate_area_grid(n_arr, np.asarray(area, dtype=float))
+        volume = perimeter_words_grid(stencil, kind, n, area, 2.0, 4.0)
+        processors = n_arr * n_arr / np.asarray(area, dtype=float)
+        return volume * self.read_word_time(processors)

@@ -36,7 +36,12 @@ import numpy as np
 
 from repro.core.parameters import Workload
 from repro.errors import InvalidParameterError
-from repro.machines.base import Architecture, validate_area
+from repro.machines.base import (
+    Architecture,
+    perimeter_words_grid,
+    validate_area,
+    validate_area_grid,
+)
 from repro.stencils.perimeter import PartitionKind
 
 __all__ = ["BusArchitecture", "SynchronousBus", "AsynchronousBus", "VOLUME_MODES"]
@@ -104,6 +109,18 @@ class BusArchitecture(Architecture):
         processors = workload.grid_points / np.asarray(area, dtype=float)
         return self.c + self.b * processors
 
+    # ------------------------------------------------------------- grid API
+
+    def _read_volume_grid(self, stencil, kind: PartitionKind, n: Any, area: Any) -> Any:
+        """Read volume broadcast over (grid side, area) arrays."""
+        return perimeter_words_grid(stencil, kind, n, area, 2.0, 4.0)
+
+    def _word_delay_grid(self, n: Any, area: Any) -> Any:
+        """``c + b·P`` with ``P = n²/A``, broadcast."""
+        n_arr = np.asarray(n, dtype=float)
+        processors = n_arr * n_arr / np.asarray(area, dtype=float)
+        return self.c + self.b * processors
+
     # ---------------------------------------------------- shared closed form
 
     def _strip_comm_coefficient(self, workload: Workload) -> float:
@@ -125,6 +142,27 @@ class SynchronousBus(BusArchitecture):
         return self.bus_volume(workload, kind, area) * self.effective_word_delay(
             workload, area
         )
+
+    # ------------------------------------------------------------- grid API
+
+    def communication_time_grid(self, stencil, t_flop, kind, n, area) -> Any:
+        if self._overrides_any(
+            SynchronousBus,
+            "communication_time",
+            "read_volume",
+            "bus_volume",
+            "effective_word_delay",
+        ):
+            # A subclass swapped a scalar hook this transcription copies;
+            # only the grouped scalar fallback stays bit-identical.
+            return Architecture.communication_time_grid(
+                self, stencil, t_flop, kind, n, area
+            )
+        validate_area_grid(np.asarray(n, dtype=float), np.asarray(area, dtype=float))
+        volume = self._direction_factor() * self._read_volume_grid(
+            stencil, kind, n, area
+        )
+        return volume * self._word_delay_grid(n, area)
 
     # ----------------------------------------------------- closed-form optima
 
@@ -217,6 +255,57 @@ class AsynchronousBus(BusArchitecture):
         if np.ndim(area) == 0:
             return float(total)
         return total
+
+    # ------------------------------------------------------------- grid API
+
+    def _write_backlog_grid(self, stencil, kind: PartitionKind, n: Any, area: Any) -> Any:
+        n_arr = np.asarray(n, dtype=float)
+        a_arr = np.asarray(area, dtype=float)
+        processors = n_arr * n_arr / a_arr
+        total_words = self._read_volume_grid(stencil, kind, n, area) * processors
+        return self.b * total_words
+
+    _GRID_SCALAR_HOOKS = (
+        "communication_time",
+        "cycle_time",
+        "read_time",
+        "write_backlog_time",
+        "read_volume",
+        "write_volume",
+        "effective_word_delay",
+    )
+
+    def communication_time_grid(self, stencil, t_flop, kind, n, area) -> Any:
+        if self._overrides_any(AsynchronousBus, *self._GRID_SCALAR_HOOKS):
+            return Architecture.communication_time_grid(
+                self, stencil, t_flop, kind, n, area
+            )
+        validate_area_grid(np.asarray(n, dtype=float), np.asarray(area, dtype=float))
+        comp = stencil.flops_per_point * np.asarray(area, dtype=float) * t_flop
+        backlog = self._write_backlog_grid(stencil, kind, n, area)
+        overhang = np.maximum(backlog - comp, 0.0)
+        read = self._read_volume_grid(stencil, kind, n, area) * self._word_delay_grid(
+            n, area
+        )
+        return read + overhang
+
+    def cycle_time_area_grid(self, stencil, t_flop, kind, n, area) -> np.ndarray:
+        """Equation (7) over broadcast (n, area) arrays — the overlap is a
+        ``max``, not a sum, so the base composition does not apply."""
+        if self._overrides_any(AsynchronousBus, *self._GRID_SCALAR_HOOKS):
+            # Base detects the overridden cycle_time and groups through
+            # the subclass's own scalar implementation.
+            return Architecture.cycle_time_area_grid(
+                self, stencil, t_flop, kind, n, area
+            )
+        n_arr = np.asarray(n, dtype=float)
+        a_arr = np.asarray(area, dtype=float)
+        validate_area_grid(n_arr, a_arr)
+        comp = stencil.flops_per_point * a_arr * t_flop
+        read = self._read_volume_grid(stencil, kind, n, area) * self._word_delay_grid(
+            n, area
+        )
+        return read + np.maximum(comp, self._write_backlog_grid(stencil, kind, n, area))
 
     # ----------------------------------------------------- closed-form optima
 

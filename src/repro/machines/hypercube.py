@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.core.parameters import Workload
 from repro.errors import InvalidParameterError
-from repro.machines.base import Architecture, validate_area
+from repro.machines.base import (
+    Architecture,
+    perimeter_words_grid,
+    validate_area,
+    validate_area_grid,
+)
 from repro.stencils.perimeter import PartitionKind
 
 __all__ = ["Hypercube"]
@@ -97,3 +102,19 @@ class Hypercube(Architecture):
         events = self.message_events(kind)
         per_event = self.message_time(self.words_per_event(workload, kind, area))
         return events * per_event
+
+    # ------------------------------------------------------------- grid API
+
+    def communication_time_grid(self, stencil, t_flop, kind, n, area) -> Any:
+        """Broadcast ``t_a`` over (grid side, area) arrays — same formula,
+        with ``k·n`` (strips) or ``k·√A`` (squares) words per event."""
+        if self._overrides_any(
+            Hypercube, "communication_time", "words_per_event", "message_time"
+        ):
+            return Architecture.communication_time_grid(
+                self, stencil, t_flop, kind, n, area
+            )
+        validate_area_grid(np.asarray(n, dtype=float), np.asarray(area, dtype=float))
+        words = perimeter_words_grid(stencil, kind, n, area, 1.0, 1.0)
+        events = self.message_events(kind)
+        return events * self.message_time(words)

@@ -16,7 +16,15 @@ __all__ = ["line_plot", "bar_chart", "multi_line_plot"]
 
 def _scale(values: Sequence[float], length: int) -> list[int]:
     lo, hi = min(values), max(values)
-    if math.isclose(lo, hi):
+    # Degenerate ranges clamp to the mid-column instead of dividing by
+    # the span: isclose covers single points and constant series; the
+    # finiteness scan covers inf/nan anywhere in the data (min/max are
+    # order-dependent with NaN, so the span alone cannot be trusted).
+    if (
+        math.isclose(lo, hi)
+        or not math.isfinite(hi - lo)
+        or any(not math.isfinite(v) for v in values)
+    ):
         return [length // 2 for _ in values]
     return [round((v - lo) / (hi - lo) * (length - 1)) for v in values]
 
@@ -51,9 +59,14 @@ def multi_line_plot(
     y_lo, y_hi = min(all_y), max(all_y)
     cols = _scale(list(xs), width)
     canvas = [[" "] * width for _ in range(height)]
+    y_flat = (
+        math.isclose(y_lo, y_hi)
+        or not math.isfinite(y_hi - y_lo)
+        or any(not math.isfinite(y) for y in all_y)
+    )
     for idx, (name, ys) in enumerate(series.items()):
         marker = markers[idx % len(markers)]
-        if math.isclose(y_lo, y_hi):
+        if y_flat:
             rows = [height // 2 for _ in ys]
         else:
             rows = [

@@ -1,0 +1,283 @@
+"""The batched sweep engine matches the scalar model paths exactly.
+
+The contract under test is stronger than numerical closeness: the grid
+methods transcribe the scalar floating-point operations, so sweeps are
+*bit-identical* to per-point evaluation.  The property tests assert the
+1e-12 tolerance the engine promises publicly, then pin exact equality
+where it is guaranteed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    SweepSpec,
+    bus_optimal_area_curve,
+    k_matrix,
+    minimal_grid_side_curve,
+    optimal_speedup_curve,
+    rectangle_error_curves,
+    run_sweep,
+    table1_speedup_curve,
+)
+from repro.core.minimal_size import minimal_grid_side
+from repro.core.parameters import Workload
+from repro.core.scaling import table1_optimal_speedup
+from repro.core.speedup import optimal_speedup
+from repro.errors import InvalidParameterError
+from repro.machines.bus import BusArchitecture
+from repro.machines.catalog import DEFAULT_MACHINES
+from repro.partitioning.rectangles import approximation_errors
+from repro.stencils.library import ALL_STENCILS, FIVE_POINT, NINE_POINT_BOX
+from repro.stencils.perimeter import PartitionKind, k_table
+
+MACHINE_ITEMS = sorted(DEFAULT_MACHINES.items())
+
+
+class TestSweepEngineProperty:
+    """Randomized (N, P, architecture) grids versus the scalar closed forms."""
+
+    @pytest.mark.parametrize("name,machine", MACHINE_ITEMS)
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    def test_cycle_times_match_scalar_within_1e12(self, name, machine, kind):
+        rng = np.random.default_rng(hash((name, kind.value)) % 2**32)
+        sides = sorted(set(rng.integers(4, 3000, size=12).tolist()))
+        procs = sorted(set(rng.integers(1, 40, size=10).tolist()))
+        spec = SweepSpec(
+            grid_sides=tuple(sides),
+            processors=tuple(float(p) for p in procs),
+            machines=((name, machine),),
+            stencil=NINE_POINT_BOX,
+            kind=kind,
+        )
+        surface = run_sweep(spec).cycle_time(name)
+        for i, n in enumerate(sides):
+            w = Workload(n=n, stencil=NINE_POINT_BOX)
+            for j, p in enumerate(procs):
+                if p == 1:
+                    expected = w.serial_time()
+                else:
+                    expected = float(machine.cycle_time(w, kind, w.grid_points / p))
+                assert surface[i, j] == pytest.approx(expected, rel=1e-12)
+                # The engine's actual contract is exact transcription.
+                assert surface[i, j] == expected
+
+    @pytest.mark.parametrize("name,machine", MACHINE_ITEMS)
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    def test_communication_time_grid_matches_scalar(self, name, machine, kind):
+        # Covers every override, including the asynchronous bus's
+        # non-overlapped read+overhang form.
+        rng = np.random.default_rng(hash(("comm", name, kind.value)) % 2**32)
+        sides = sorted(set(rng.integers(8, 2000, size=8).tolist()))
+        for n in sides:
+            w = Workload(n=n, stencil=FIVE_POINT)
+            areas = np.maximum(rng.uniform(1.0, w.grid_points, size=6), 1.0)
+            grid = machine.communication_time_grid(
+                FIVE_POINT, w.t_flop, kind, float(n), areas
+            )
+            scalar = np.asarray(machine.communication_time(w, kind, areas))
+            np.testing.assert_array_equal(grid, scalar)
+
+    @pytest.mark.parametrize("name,machine", MACHINE_ITEMS)
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    @pytest.mark.parametrize("stencil", [FIVE_POINT, NINE_POINT_BOX])
+    def test_optimal_speedup_curve_matches_scalar(self, name, machine, kind, stencil):
+        rng = np.random.default_rng(hash((name, kind.value, stencil.name)) % 2**32)
+        sides = sorted(set(rng.integers(8, 5000, size=10).tolist()))
+        curve = optimal_speedup_curve(machine, stencil, kind, sides)
+        for i, n in enumerate(sides):
+            scalar = optimal_speedup(machine, Workload(n=n, stencil=stencil), kind)
+            assert curve.speedup[i] == pytest.approx(scalar.speedup, rel=1e-12)
+            assert curve.speedup[i] == scalar.speedup
+            assert curve.processors[i] == scalar.processors
+            assert curve.area[i] == scalar.area
+            assert curve.cycle_time[i] == scalar.cycle_time
+            assert curve.regime[i] == scalar.regime
+
+    def test_optimal_speedup_curve_with_processor_cap(self):
+        machine = DEFAULT_MACHINES["paper-bus"]
+        sides = [64, 256, 1024]
+        curve = optimal_speedup_curve(
+            machine, FIVE_POINT, PartitionKind.SQUARE, sides, max_processors=16
+        )
+        for i, n in enumerate(sides):
+            scalar = optimal_speedup(
+                machine,
+                Workload(n=n, stencil=FIVE_POINT),
+                PartitionKind.SQUARE,
+                max_processors=16,
+            )
+            assert curve.speedup[i] == scalar.speedup
+            assert curve.regime[i] == scalar.regime
+
+    def test_table1_curve_matches_scalar(self):
+        sides = [64, 128, 512, 2048]
+        for name, machine in MACHINE_ITEMS:
+            curve = table1_speedup_curve(machine, FIVE_POINT, sides)
+            for i, n in enumerate(sides):
+                scalar = table1_optimal_speedup(
+                    machine, Workload(n=n, stencil=FIVE_POINT)
+                )
+                assert curve[i] == scalar
+
+    def test_extension_bus_with_own_optimum_matches_scalar(self):
+        # A bus subclass outside the sync/async closed forms (overridden
+        # cycle_time AND optimal_area) must route through the scalar
+        # fallbacks and stay bit-identical end to end.
+        from repro.machines.bus_extensions import FullyAsynchronousBus
+
+        machine = FullyAsynchronousBus(b=6.1e-6)
+        sides = [64, 256, 1024]
+        for kind in PartitionKind:
+            curve = optimal_speedup_curve(machine, FIVE_POINT, kind, sides)
+            for i, n in enumerate(sides):
+                scalar = optimal_speedup(machine, Workload(n=n, stencil=FIVE_POINT), kind)
+                assert curve.speedup[i] == scalar.speedup, (kind, n)
+                assert curve.regime[i] == scalar.regime
+        spec = SweepSpec(
+            grid_sides=(64, 256),
+            processors=(1.0, 4.0, 64.0),
+            machines=(("full-async", machine),),
+            stencil=FIVE_POINT,
+        )
+        surface = run_sweep(spec).cycle_time("full-async")
+        for i, n in enumerate(spec.grid_sides):
+            w = Workload(n=n, stencil=FIVE_POINT)
+            for j, p in enumerate(spec.processors):
+                expected = (
+                    w.serial_time()
+                    if p == 1.0
+                    else float(machine.cycle_time(w, PartitionKind.SQUARE, w.grid_points / p))
+                )
+                assert surface[i, j] == expected, (n, p)
+
+    def test_subclass_overriding_scalar_hooks_stays_bit_identical(self):
+        # The closed-form grid transcriptions must detect a subclass
+        # that swaps a scalar hook and reroute through the grouped
+        # scalar fallback instead of silently using stale formulas.
+        from dataclasses import dataclass
+
+        from repro.machines.bus import AsynchronousBus
+
+        @dataclass(frozen=True)
+        class HalfWriteAsyncBus(AsynchronousBus):
+            def write_volume(self, workload, kind, area):
+                return 0.5 * self.read_volume(workload, kind, area)
+
+        machine = HalfWriteAsyncBus(b=6.1e-6)
+        n, kind = 256, PartitionKind.SQUARE
+        w = Workload(n=n, stencil=FIVE_POINT)
+        areas = np.array([4.0, 64.0, 1024.0])
+        grid = machine.cycle_time_area_grid(FIVE_POINT, w.t_flop, kind, float(n), areas)
+        scalar = np.asarray(machine.cycle_time(w, kind, areas))
+        np.testing.assert_array_equal(grid, scalar)
+        comm_grid = machine.communication_time_grid(
+            FIVE_POINT, w.t_flop, kind, float(n), areas
+        )
+        np.testing.assert_array_equal(
+            comm_grid, np.asarray(machine.communication_time(w, kind, areas))
+        )
+
+    def test_bus_optimal_area_curve_matches_machines(self):
+        sides = [32, 256, 4096]
+        for name, machine in MACHINE_ITEMS:
+            if not isinstance(machine, BusArchitecture):
+                continue
+            for kind in PartitionKind:
+                vec = bus_optimal_area_curve(machine, FIVE_POINT, kind, sides)
+                for i, n in enumerate(sides):
+                    w = Workload(n=n, stencil=FIVE_POINT)
+                    assert vec[i] == machine.optimal_area(w, kind), (name, kind, n)
+
+
+class TestSweepSpecAndResult:
+    def test_across_catalog_by_name(self):
+        spec = SweepSpec.across_catalog([64], [1.0, 4.0], machines=["paper-bus"])
+        assert spec.machines[0][0] == "paper-bus"
+        assert spec.shape == (1, 2)
+
+    def test_across_catalog_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known machines"):
+            SweepSpec.across_catalog([64], [1.0], machines=["cray-1"])
+
+    def test_rejects_empty_axes_and_duplicates(self):
+        machine = ("m", DEFAULT_MACHINES["paper-bus"])
+        with pytest.raises(InvalidParameterError):
+            SweepSpec(grid_sides=(), processors=(1.0,), machines=(machine,))
+        with pytest.raises(InvalidParameterError):
+            SweepSpec(grid_sides=(64,), processors=(), machines=(machine,))
+        with pytest.raises(InvalidParameterError):
+            SweepSpec(grid_sides=(64,), processors=(0.5,), machines=(machine,))
+        with pytest.raises(InvalidParameterError):
+            SweepSpec(
+                grid_sides=(64,), processors=(1.0,), machines=(machine, machine)
+            )
+
+    def test_speedup_and_efficiency_definitions(self):
+        spec = SweepSpec.across_catalog([256], [1.0, 16.0], machines=["ipsc"])
+        res = run_sweep(spec)
+        s = res.speedup("ipsc")
+        e = res.efficiency("ipsc")
+        assert s[0, 0] == 1.0  # P = 1 is the serial run by definition
+        assert e[0, 0] == 1.0
+        assert np.all(e <= s)
+
+    def test_feasible_mask_strips(self):
+        spec = SweepSpec.across_catalog(
+            [16], [1.0, 16.0, 17.0], machines=["paper-bus"], kind=PartitionKind.STRIP
+        )
+        feasible = run_sweep(spec).feasible()
+        assert feasible.tolist() == [[True, True, False]]
+
+    def test_iter_rows_long_form(self):
+        spec = SweepSpec.across_catalog([64], [1.0, 2.0], machines=["fem", "rp3"])
+        res = run_sweep(spec)
+        rows = list(res.iter_rows())
+        assert len(rows) == 4
+        assert rows[0][0] == "fem"
+        assert len(res.headers()) == len(rows[0])
+
+    def test_unknown_machine_lookup_rejected(self):
+        spec = SweepSpec.across_catalog([64], [1.0], machines=["fem"])
+        with pytest.raises(InvalidParameterError, match="no machine"):
+            run_sweep(spec).cycle_time("cray-1")
+
+
+class TestBatchedCurves:
+    def test_minimal_grid_side_curve_matches_scalar(self):
+        procs = list(range(2, 25, 2))
+        for name, machine in MACHINE_ITEMS:
+            if not isinstance(machine, BusArchitecture):
+                continue
+            for stencil in (FIVE_POINT, NINE_POINT_BOX):
+                for kind in PartitionKind:
+                    k = Workload(n=2, stencil=stencil).k(kind)
+                    vec = minimal_grid_side_curve(
+                        machine, k, stencil.flops_per_point, 1e-6, procs, kind
+                    )
+                    for i, n_procs in enumerate(procs):
+                        assert vec[i] == minimal_grid_side(
+                            machine, k, stencil.flops_per_point, 1e-6, n_procs, kind
+                        )
+
+    def test_k_matrix_matches_k_table(self):
+        km = k_matrix(ALL_STENCILS)
+        table = {
+            (row.stencil, row.partition): row.k for row in k_table(ALL_STENCILS)
+        }
+        for i, stencil in enumerate(ALL_STENCILS):
+            assert km[i, 0] == table[(stencil.name, PartitionKind.STRIP)]
+            assert km[i, 1] == table[(stencil.name, PartitionKind.SQUARE)]
+
+    def test_rectangle_error_curves_match_scalar(self):
+        n = 128
+        areas = range(n * n // 64, n * n // 4 + 1, 2)
+        vec = rectangle_error_curves(n, areas)
+        scalar = approximation_errors(n, areas)
+        assert len(vec) == len(scalar)
+        for i, err in enumerate(scalar):
+            assert vec.target_areas[i] == err.target_area
+            assert vec.heights[i] == err.rectangle.height
+            assert vec.widths[i] == err.rectangle.width
+            assert vec.area_errors[i] == err.area_error
+            assert vec.perimeter_errors[i] == err.perimeter_error

@@ -1,0 +1,65 @@
+"""Runner semantics: id selection, output handling, concurrency."""
+
+import pytest
+
+from repro.errors import ExperimentError, InvalidParameterError
+from repro.experiments.runner import run_all, run_experiments
+
+FAST_IDS = ["E-KTAB", "E-TEXT1"]
+
+
+class TestIdSelection:
+    def test_empty_list_runs_nothing(self, tmp_path):
+        # ids=[] must not silently fall through to "run everything".
+        assert run_experiments(tmp_path, ids=[]) == []
+        assert run_all(tmp_path, ids=[]) == []
+        assert not list(tmp_path.glob("*.csv"))
+
+    def test_unknown_id_raises_before_running(self, tmp_path):
+        with pytest.raises(ExperimentError, match="E-NOPE"):
+            run_experiments(tmp_path, ids=["E-KTAB", "E-NOPE"])
+        # The known experiment listed first must not have run.
+        assert not list(tmp_path.glob("e-ktab*"))
+
+    def test_selection_order_is_preserved(self, tmp_path):
+        runs = run_experiments(tmp_path, ids=list(reversed(FAST_IDS)))
+        assert [r.experiment_id for r in runs] == list(reversed(FAST_IDS))
+
+    def test_duplicate_ids_collapse_to_one_run(self, tmp_path):
+        # Two concurrent workers must never write the same CSV paths.
+        runs = run_experiments(tmp_path, ids=["E-KTAB", "E-KTAB"], jobs=2)
+        assert [r.experiment_id for r in runs] == ["E-KTAB"]
+
+
+class TestOutputDirectory:
+    def test_missing_output_dir_is_created(self, tmp_path):
+        deep = tmp_path / "does" / "not" / "exist"
+        runs = run_experiments(deep, ids=["E-KTAB"])
+        assert deep.is_dir()
+        assert runs[0].csv_paths
+        assert all(p.exists() for p in runs[0].csv_paths)
+
+
+class TestConcurrency:
+    def test_parallel_matches_serial_reports(self, tmp_path):
+        serial = run_experiments(tmp_path / "s", ids=FAST_IDS, jobs=1)
+        parallel = run_experiments(tmp_path / "p", ids=FAST_IDS, jobs=2)
+        assert [r.experiment_id for r in parallel] == [
+            r.experiment_id for r in serial
+        ]
+        assert [r.report for r in parallel] == [r.report for r in serial]
+
+    def test_wall_time_recorded(self, tmp_path):
+        (run,) = run_experiments(tmp_path, ids=["E-KTAB"])
+        assert run.seconds > 0.0
+
+    def test_invalid_jobs_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            run_experiments(tmp_path, ids=FAST_IDS, jobs=0)
+
+
+class TestBackCompat:
+    def test_run_all_returns_reports(self, tmp_path):
+        reports = run_all(tmp_path, ids=["E-KTAB"])
+        assert len(reports) == 1
+        assert reports[0].startswith("[E-KTAB]")

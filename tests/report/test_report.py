@@ -61,6 +61,39 @@ class TestPlots:
         out = line_plot([1, 2, 3], [5.0, 5.0, 5.0], width=12, height=4)
         assert "*" in out
 
+    def test_single_point_renders_mid_canvas(self):
+        # One sample: both axes are degenerate; the marker clamps to the
+        # middle column/row instead of dividing by the zero span.
+        out = line_plot([3.0], [7.0], width=11, height=5)
+        lines = out.splitlines()
+        canvas = [l[1:] for l in lines if l.startswith("|")]
+        assert canvas[5 // 2][11 // 2] == "*"
+
+    def test_constant_x_values_render_mid_column(self):
+        # All x equal (a vertical series) must not crash the x-scaler.
+        out = multi_line_plot(
+            [4.0, 4.0, 4.0], {"s": [1.0, 2.0, 3.0]}, width=9, height=5
+        )
+        for line in out.splitlines():
+            if line.startswith("|") and "*" in line:
+                assert line[1:].index("*") == 9 // 2
+
+    def test_constant_everything_renders(self):
+        out = multi_line_plot([2.0, 2.0], {"s": [5.0, 5.0]}, width=8, height=4)
+        assert "*" in out
+
+    def test_nan_and_inf_anywhere_render_without_crashing(self):
+        # min/max are order-dependent with NaN: a NaN that is not in the
+        # winning position leaves the span finite, so the guard must
+        # scan the values, not just the span.
+        nan, inf = float("nan"), float("inf")
+        for xs, ys in [
+            ([1.0, nan, 2.0], [1.0, 2.0, 3.0]),
+            ([1.0, 2.0, 3.0], [1.0, nan, 2.0]),
+            ([1.0, 2.0], [inf, 1.0]),
+        ]:
+            assert "|" in line_plot(xs, ys, width=8, height=3)
+
     def test_bar_chart(self):
         out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
         lines = out.splitlines()
