@@ -1,41 +1,157 @@
-"""Analysis-extension benches: isoefficiency, arbitration, operators."""
+"""BENCH-ANALYSIS: the vectorized analysis layer vs the scalar core.
 
-from conftest import emit
+Two measurements, recorded to ``results/BENCH_analysis.json`` so the
+perf trajectory is tracked across PRs:
 
-from repro.experiments import get_experiment
+* **scalar vs vectorized** — a 2000-point capacity-planning sweep
+  (integer-constrained optimal allocations over a dense grid-side axis
+  on the paper's bus) through ``repro.batch.analysis`` versus the
+  equivalent per-point ``optimize_allocation`` loop.  The layer
+  promises ≥ 50×; typical is well above.
+* **cold vs warm cache** — the same sweep through the content-addressed
+  sweep cache: a cold disk-backed miss (compute + store) versus a warm
+  disk hit from a fresh process-like cache instance.
+
+Run as a script (CI's smoke bench) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py
+    pytest benchmarks/bench_analysis.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import SweepCache, optimal_allocation_curve
+from repro.core.allocation import optimize_allocation
+from repro.core.parameters import Workload
+from repro.machines.catalog import PAPER_BUS
+from repro.report.csvio import default_results_dir
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+GRID_POINTS = 2000
+
+#: The acceptance bar for the vectorized analysis layer.
+MIN_SPEEDUP = 50.0
 
 
-def test_bench_isoefficiency(benchmark, results_dir):
-    result = benchmark.pedantic(get_experiment("E-ISO"), rounds=1, iterations=1)
-    emit(result, results_dir)
-    table = result.table("n² growth exponent in N at efficiency 0.5")
-    fitted = dict(zip(table.column("configuration"), table.column("fitted exponent")))
-    assert abs(fitted["hypercube / squares"] - 1.0) < 0.15
-    assert abs(fitted["sync bus / squares"] - 3.0) < 0.1
-    assert abs(fitted["sync bus / strips"] - 4.0) < 0.1
-    assert 1.0 < fitted["banyan / squares"] < 2.0
+def _axis() -> list[int]:
+    """2000 distinct grid sides spanning [64, 8192]."""
+    sides = np.unique(
+        np.round(np.geomspace(64, 8192, GRID_POINTS)).astype(int)
+    ).tolist()
+    taken = set(sides)
+    extra = (n for n in range(64, 8192) if n not in taken)
+    while len(sides) < GRID_POINTS:
+        sides.append(next(extra))
+    return sorted(sides[:GRID_POINTS])
 
 
-def test_bench_arbitration(benchmark, results_dir):
-    result = benchmark.pedantic(
-        get_experiment("E-ABL-ARBITRATION"), rounds=1, iterations=1
+def bench_vectorized() -> dict:
+    """Time the capacity-planning sweep both ways and check they agree."""
+    sides = _axis()
+    kind = PartitionKind.SQUARE
+
+    start = time.perf_counter()
+    curve = optimal_allocation_curve(
+        PAPER_BUS, FIVE_POINT, kind, sides, integer=True
     )
-    emit(result, results_dir)
-    table = result.table("phase completion by discipline (V words/processor)")
-    for row in table.rows:
-        _, _, _, _, _, block_ratio, word_ratio = row
-        assert abs(block_ratio - 1.0) < 1e-12  # block FIFO == analytic model
-        assert 0.7 <= word_ratio <= 1.0 + 1e-12  # round-robin inside envelope
+    vectorized_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar_speedup = np.empty(len(sides))
+    scalar_area = np.empty(len(sides))
+    for i, n in enumerate(sides):
+        alloc = optimize_allocation(
+            PAPER_BUS, Workload(n=n, stencil=FIVE_POINT), kind, integer=True
+        )
+        scalar_speedup[i] = alloc.speedup
+        scalar_area[i] = alloc.area
+    scalar_s = time.perf_counter() - start
+
+    np.testing.assert_array_equal(curve.speedup, scalar_speedup)
+    np.testing.assert_array_equal(curve.area, scalar_area)
+    return {
+        "points": len(sides),
+        "machine": "paper-bus",
+        "scalar_seconds": scalar_s,
+        "vectorized_seconds": vectorized_s,
+        "speedup": scalar_s / vectorized_s,
+    }
 
 
-def test_bench_operators(benchmark, results_dir):
-    result = benchmark.pedantic(get_experiment("E-OPERATORS"), rounds=1, iterations=1)
-    emit(result, results_dir)
-    fixed_point = result.table("Jacobi fixed point vs sparse direct solve")
-    assert all(row[2] < 1e-9 for row in fixed_point.rows)
-    radii = dict(
-        (row[0], row[1])
-        for row in result.table("Jacobi iteration spectral radius").rows
+def bench_cache() -> dict:
+    """Cold (compute + store) vs warm (disk hit) for the same sweep."""
+    sides = _axis()
+    kind = PartitionKind.SQUARE
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_cache = SweepCache(tmp)
+        start = time.perf_counter()
+        cold = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, kind, sides, integer=True, cache=cold_cache
+        )
+        cold_s = time.perf_counter() - start
+
+        warm_cache = SweepCache(tmp)  # fresh memory, same store
+        start = time.perf_counter()
+        warm = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, kind, sides, integer=True, cache=warm_cache
+        )
+        warm_s = time.perf_counter() - start
+        np.testing.assert_array_equal(cold.speedup, warm.speedup)
+        warm_stats = warm_cache.stats.snapshot()
+    return {
+        "points": len(sides),
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s,
+        "warm_stats": warm_stats,
+        "warm_was_pure_hit": warm_stats["misses"] == 0,
+    }
+
+
+def run_bench(output_path: Path | None = None) -> dict:
+    payload = {
+        "bench": "analysis",
+        "vectorized_analysis": bench_vectorized(),
+        "sweep_cache": bench_cache(),
+    }
+    path = output_path or (default_results_dir() / "BENCH_analysis.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    payload["path"] = str(path)
+    return payload
+
+
+def test_bench_analysis(results_dir):
+    payload = run_bench(results_dir / "BENCH_analysis.json")
+    print()
+    print(json.dumps(payload, indent=2))
+    analysis = payload["vectorized_analysis"]
+    assert analysis["speedup"] >= MIN_SPEEDUP, analysis
+    cache = payload["sweep_cache"]
+    assert cache["warm_was_pure_hit"], cache
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    ok = (
+        report["vectorized_analysis"]["speedup"] >= MIN_SPEEDUP
+        and report["sweep_cache"]["warm_was_pure_hit"]
     )
-    assert radii["5-point"] < 1.0
-    assert radii["9-point-star"] > 1.0
+    print(
+        f"vectorized analysis {report['vectorized_analysis']['speedup']:.1f}x "
+        f"({'PASS' if ok else 'FAIL'} >= {MIN_SPEEDUP:g}x), warm cache "
+        f"{report['sweep_cache']['speedup']:.1f}x vs cold "
+        f"({'hit' if report['sweep_cache']['warm_was_pure_hit'] else 'MISS'})"
+    )
+    sys.exit(0 if ok else 1)

@@ -1,0 +1,41 @@
+"""Analysis-extension experiment benches: isoefficiency, arbitration, operators."""
+
+from conftest import emit
+
+from repro.experiments import get_experiment
+
+
+def test_bench_isoefficiency(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-ISO"), rounds=1, iterations=1)
+    emit(result, results_dir)
+    table = result.table("n² growth exponent in N at efficiency 0.5")
+    fitted = dict(zip(table.column("configuration"), table.column("fitted exponent")))
+    assert abs(fitted["hypercube / squares"] - 1.0) < 0.15
+    assert abs(fitted["sync bus / squares"] - 3.0) < 0.1
+    assert abs(fitted["sync bus / strips"] - 4.0) < 0.1
+    assert 1.0 < fitted["banyan / squares"] < 2.0
+
+
+def test_bench_arbitration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        get_experiment("E-ABL-ARBITRATION"), rounds=1, iterations=1
+    )
+    emit(result, results_dir)
+    table = result.table("phase completion by discipline (V words/processor)")
+    for row in table.rows:
+        _, _, _, _, _, block_ratio, word_ratio = row
+        assert abs(block_ratio - 1.0) < 1e-12  # block FIFO == analytic model
+        assert 0.7 <= word_ratio <= 1.0 + 1e-12  # round-robin inside envelope
+
+
+def test_bench_operators(benchmark, results_dir):
+    result = benchmark.pedantic(get_experiment("E-OPERATORS"), rounds=1, iterations=1)
+    emit(result, results_dir)
+    fixed_point = result.table("Jacobi fixed point vs sparse direct solve")
+    assert all(row[2] < 1e-9 for row in fixed_point.rows)
+    radii = dict(
+        (row[0], row[1])
+        for row in result.table("Jacobi iteration spectral radius").rows
+    )
+    assert radii["5-point"] < 1.0
+    assert radii["9-point-star"] > 1.0

@@ -121,6 +121,55 @@ def main() -> None:
             title="Batched (N, P) sweep on the bus: 256 processor counts at once",
         )
     )
+    print()
+
+    # ------------------------------------------- cached whole-grid plan
+    # The analysis layer answers the paper's *optimization* questions
+    # over whole axes — here an integer-constrained capacity plan for
+    # every grid side from 64 to 4096 — and the content-addressed sweep
+    # cache makes the second request a pure warm hit (add a cache_dir to
+    # persist it across runs; the CLI equivalent is
+    # `python -m repro optimize --grid 64:4096:64 --cache-dir ...`).
+    import tempfile
+
+    from repro.batch import SweepCache, optimal_allocation_curve
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SweepCache(tmp)
+        sides = list(range(64, 4097, 64))
+        curve = optimal_allocation_curve(
+            PAPER_BUS,
+            FIVE_POINT,
+            PartitionKind.SQUARE,
+            sides,
+            integer=True,
+            cache=cache,
+        )
+        curve = optimal_allocation_curve(  # warm: served from the cache
+            PAPER_BUS,
+            FIVE_POINT,
+            PartitionKind.SQUARE,
+            sides,
+            integer=True,
+            cache=cache,
+        )
+        picks = [0, len(sides) // 2, len(sides) - 1]
+        print(
+            format_table(
+                ["n", "regime", "processors", "speedup"],
+                [
+                    (
+                        int(curve.grid_sides[i]),
+                        curve.regime[i],
+                        round(curve.processors[i].item(), 1),
+                        round(curve.speedup[i].item(), 2),
+                    )
+                    for i in picks
+                ],
+                title=f"Cached whole-grid plan ({len(sides)} sides; "
+                f"cache: {cache.stats.describe()})",
+            )
+        )
 
 
 if __name__ == "__main__":

@@ -56,17 +56,65 @@ from repro.batch.curves import (
     table1_speedup_curve,
 )
 from repro.batch.engine import SweepSpec, SweepResult, run_sweep
+from repro.batch.analysis import (
+    AllocationCurve,
+    cached_run_sweep,
+    find_crossover_grid_size_batch,
+    grid_for_efficiency_curve,
+    isoefficiency_exponent_grid,
+    max_useful_processors_curve,
+    minimal_problem_size_curve,
+    optimal_allocation_curve,
+    scaled_speedup_banyan_curve,
+    scaled_speedup_hypercube_curve,
+    speedup_ratio_curve,
+    strip_square_ratio_curve,
+)
+from repro.batch.cache import (
+    CacheStats,
+    SweepCache,
+    clear_default_cache,
+    configure_default_cache,
+    default_cache,
+    fingerprint,
+)
+from repro.batch.shard import (
+    axis_chunks,
+    run_sweep_sharded,
+    sharded_allocation_curve,
+)
 
 __all__ = [
+    "AllocationCurve",
+    "CacheStats",
     "OptimalSpeedupCurve",
     "RectangleErrorCurve",
+    "SweepCache",
     "SweepResult",
     "SweepSpec",
+    "axis_chunks",
     "bus_optimal_area_curve",
+    "cached_run_sweep",
+    "clear_default_cache",
+    "configure_default_cache",
+    "default_cache",
+    "find_crossover_grid_size_batch",
+    "fingerprint",
+    "grid_for_efficiency_curve",
+    "isoefficiency_exponent_grid",
     "k_matrix",
+    "max_useful_processors_curve",
     "minimal_grid_side_curve",
+    "minimal_problem_size_curve",
+    "optimal_allocation_curve",
     "optimal_speedup_curve",
     "rectangle_error_curves",
     "run_sweep",
+    "run_sweep_sharded",
+    "scaled_speedup_banyan_curve",
+    "scaled_speedup_hypercube_curve",
+    "sharded_allocation_curve",
+    "speedup_ratio_curve",
+    "strip_square_ratio_curve",
     "table1_speedup_curve",
 ]

@@ -1,0 +1,268 @@
+"""Content-addressed cache for sweep and analysis results.
+
+Every batched analysis request — a :class:`repro.batch.SweepSpec`, an
+allocation-curve request, an isoefficiency fit — is a pure function of
+its inputs, so its result can be keyed by a *fingerprint* of those
+inputs and served from a store instead of recomputed.  The cache is
+two-level:
+
+* an in-process dictionary (hit cost: one dict lookup), and
+* an optional on-disk ``.npz`` store under ``cache_dir`` that survives
+  process restarts and is shared by sharded workers.
+
+Keys are SHA-256 digests of a canonical encoding of the request
+(dataclass fields, enum values, array bytes), so two requests collide
+only if they are semantically identical — machine parameters, stencil,
+partition kind, axes, and tolerances all feed the digest.
+
+Hit/miss statistics are tracked per cache and surfaced in the
+experiment runner's report and the CLI's ``--cache-dir`` output, so a
+warm cache is visible, not silent.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "CacheStats",
+    "SweepCache",
+    "fingerprint",
+    "configure_default_cache",
+    "clear_default_cache",
+    "set_default_cache",
+    "default_cache",
+    "resolve_cache",
+]
+
+
+# --------------------------------------------------------------------------
+# Canonical request encoding
+# --------------------------------------------------------------------------
+
+
+def _canonical(obj: object) -> object:
+    """A hashable, repr-stable view of a request component.
+
+    Dataclasses (machines, stencils, specs) encode as their qualified
+    class name plus all field values; arrays as shape/dtype/content
+    digest.  Two objects encode equal iff the model treats them as the
+    same input.
+    """
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return (
+            "ndarray",
+            data.shape,
+            data.dtype.str,
+            hashlib.sha256(data.tobytes()).hexdigest(),
+        )
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__qualname__,
+            tuple((f.name, _canonical(getattr(obj, f.name))) for f in fields(obj)),
+        )
+    if isinstance(obj, enum.Enum):
+        return (type(obj).__qualname__, obj.value)
+    if isinstance(obj, Mapping):
+        return (
+            "map",
+            tuple(sorted((repr(k), repr(_canonical(v))) for k, v in obj.items())),
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canonical(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(v)) for v in obj)))
+    if isinstance(obj, float):
+        # repr round-trips doubles exactly; hash() of floats does not
+        # distinguish -0.0 and is platform-dependent for our purposes.
+        return ("float", repr(obj))
+    if obj is None or isinstance(obj, (str, int, bool, bytes)):
+        return obj
+    return ("repr", repr(obj))
+
+
+def fingerprint(request: object) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``request``."""
+    return hashlib.sha256(repr(_canonical(request)).encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# The cache itself
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`SweepCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+        }
+
+    def describe(self) -> str:
+        """One-line summary, labelling a fully warm cache as such."""
+        state = "warm" if self.hits and not self.misses else "cold"
+        return (
+            f"{self.hits} hits ({self.memory_hits} memory, {self.disk_hits} disk), "
+            f"{self.misses} misses [{state}]"
+        )
+
+
+class SweepCache:
+    """Two-level (memory + optional ``.npz`` directory) result store.
+
+    Values are mappings from array name to ``np.ndarray`` — exactly what
+    the analysis layer's curve objects serialize to.  Disk writes are
+    atomic (write to a temp file, then rename), so concurrent sharded
+    workers sharing one ``cache_dir`` never observe torn files.
+    """
+
+    def __init__(self, cache_dir: Path | str | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, dict[str, np.ndarray]] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------- internals
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.npz"
+
+    @staticmethod
+    def _freeze(arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Mark cached arrays read-only.
+
+        Hits hand out the stored arrays by reference (copying every hit
+        would defeat the memory level); freezing them turns accidental
+        in-place mutation — which would silently poison every later hit
+        for that key — into an immediate ``ValueError``.
+        """
+        for a in arrays.values():
+            a.flags.writeable = False
+        return arrays
+
+    def lookup(self, key: str) -> dict[str, np.ndarray] | None:
+        """Fetch by fingerprint, recording the hit level (or the miss)."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.stats.memory_hits += 1
+            return hit
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            with np.load(path, allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+            self._memory[key] = self._freeze(arrays)
+            self.stats.disk_hits += 1
+            return arrays
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        value = self._freeze(
+            {name: np.array(a, copy=True) for name, a in arrays.items()}
+        )
+        self._memory[key] = value
+        path = self._disk_path(key)
+        if path is None:
+            return
+        fd, tmp = tempfile.mkstemp(dir=str(self.cache_dir), suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **value)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------ public API
+
+    def get_or_compute(
+        self,
+        request: object,
+        compute: Callable[[], Mapping[str, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        """The cache's main entry point: serve ``request`` or compute it."""
+        key = fingerprint(request)
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached
+        self.store(key, compute())
+        # Return the stored (read-only) copy so misses and hits hand
+        # back the same kind of object.
+        return self._memory[key]
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# --------------------------------------------------------------------------
+# Process-wide default cache (opt-in)
+# --------------------------------------------------------------------------
+
+_DEFAULT_CACHE: SweepCache | None = None
+
+
+def configure_default_cache(cache_dir: Path | str | None = None) -> SweepCache:
+    """Install (and return) the process-wide default cache.
+
+    Analysis functions called without an explicit ``cache=`` use this
+    one; until configured, they compute directly.  The experiment
+    runner's ``--cache-dir`` and the CLI's ``--cache-dir`` both route
+    here, including in sharded worker processes.
+    """
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = SweepCache(cache_dir)
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: SweepCache | None) -> None:
+    """Install an existing cache instance (or ``None``) as the default.
+
+    The restore half of a configure/restore pair: callers that swap the
+    default temporarily (the experiment runner's ``--cache-dir``) put
+    the caller's cache back with this instead of clearing it.
+    """
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+
+
+def clear_default_cache() -> None:
+    """Remove the default cache (analysis calls compute directly again)."""
+    set_default_cache(None)
+
+
+def default_cache() -> SweepCache | None:
+    return _DEFAULT_CACHE
+
+
+def resolve_cache(cache: SweepCache | None) -> SweepCache | None:
+    """An explicit cache wins; otherwise the configured default (if any)."""
+    return cache if cache is not None else _DEFAULT_CACHE

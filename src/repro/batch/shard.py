@@ -1,0 +1,192 @@
+"""Sharded evaluation: chunk large axes across a process pool.
+
+The vectorized analysis layer turns a 2000-point sweep into a few NumPy
+reductions, but one process still owns all of it.  For axes large
+enough to amortize process startup, these helpers split the grid-side
+axis into contiguous chunks, evaluate each chunk in a
+``ProcessPoolExecutor`` worker (the same pool machinery the experiment
+runner uses), and concatenate the results in order.
+
+Every element of a curve depends only on its own axis value, so
+sharding is exact: ``sharded_allocation_curve(...)`` returns the same
+arrays as :func:`repro.batch.analysis.optimal_allocation_curve`, bit
+for bit, for any chunking.  Combined with the content-addressed cache
+this is the sweep *service*: fingerprint the request, serve a warm hit
+from the store, or fan the cold miss out across all cores.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.batch.analysis import (
+    AllocationCurve,
+    _allocation_request,
+    _compute_allocation_curve,
+    optimal_allocation_curve,
+)
+from repro.batch.cache import SweepCache, resolve_cache
+from repro.batch.engine import SweepResult, SweepSpec, run_sweep
+from repro.core.parameters import DEFAULT_T_FLOP
+from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
+from repro.stencils.perimeter import PartitionKind
+from repro.stencils.stencil import Stencil
+
+__all__ = ["axis_chunks", "sharded_allocation_curve", "run_sweep_sharded"]
+
+#: Below this many axis points a chunk is not worth a process round-trip.
+MIN_CHUNK = 64
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def axis_chunks(n_points: int, jobs: int, min_chunk: int = MIN_CHUNK) -> list[slice]:
+    """Contiguous slices covering ``range(n_points)`` for ``jobs`` workers.
+
+    At most ``jobs`` chunks, each at least ``min_chunk`` points (except
+    possibly the last), so tiny axes collapse to one chunk and skip the
+    pool entirely.
+    """
+    if n_points <= 0:
+        raise InvalidParameterError("axis must have at least one point")
+    n_chunks = max(1, min(jobs, n_points // max(min_chunk, 1)))
+    bounds = np.linspace(0, n_points, n_chunks + 1).astype(int)
+    return [
+        slice(int(bounds[i]), int(bounds[i + 1]))
+        for i in range(n_chunks)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def _allocation_chunk(payload: tuple) -> dict[str, np.ndarray]:
+    """Worker body (module-level so the pool can pickle it)."""
+    machine, stencil, kind, sides, t_flop, max_processors, integer = payload
+    curve = _compute_allocation_curve(
+        machine,
+        stencil,
+        kind,
+        np.asarray(sides, dtype=float),
+        t_flop,
+        max_processors,
+        integer,
+    )
+    return curve.to_arrays()
+
+
+def sharded_allocation_curve(
+    machine: Architecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+    max_processors: float | None = None,
+    integer: bool = False,
+    jobs: int | None = None,
+    cache: SweepCache | None = None,
+) -> AllocationCurve:
+    """:func:`optimal_allocation_curve` with the n-axis sharded over cores.
+
+    The cache (when configured) is consulted for the *whole* request
+    before any work is sharded, and the assembled result is stored back
+    under the same fingerprint — so a warm repeat costs one lookup
+    regardless of ``jobs``.
+    """
+    jobs = _resolve_jobs(jobs)
+    sides = np.asarray(grid_sides, dtype=float)
+    if sides.ndim != 1 or sides.size == 0:
+        raise InvalidParameterError("grid_sides must be a non-empty 1-D axis")
+    chunks = axis_chunks(int(sides.size), jobs)
+    if len(chunks) == 1:
+        return optimal_allocation_curve(
+            machine,
+            stencil,
+            kind,
+            grid_sides,
+            t_flop,
+            max_processors,
+            integer,
+            cache=cache,
+        )
+
+    def compute() -> dict[str, np.ndarray]:
+        payloads = [
+            (machine, stencil, kind, sides[sl], t_flop, max_processors, integer)
+            for sl in chunks
+        ]
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            parts = list(pool.map(_allocation_chunk, payloads))
+        return {
+            name: np.concatenate([part[name] for part in parts])
+            for name in parts[0]
+        }
+
+    store = resolve_cache(cache)
+    if store is None:
+        return AllocationCurve.from_arrays(compute(), kind)
+    request = _allocation_request(
+        machine, stencil, kind, sides, t_flop, max_processors, integer
+    )
+    return AllocationCurve.from_arrays(store.get_or_compute(request, compute), kind)
+
+
+def _sweep_chunk(spec: SweepSpec) -> dict[str, np.ndarray]:
+    """Worker body for :func:`run_sweep_sharded`."""
+    return dict(run_sweep(spec).cycle_times)
+
+
+def run_sweep_sharded(
+    spec: SweepSpec, jobs: int | None = None, cache: SweepCache | None = None
+) -> SweepResult:
+    """:func:`repro.batch.run_sweep` with the grid-side axis sharded.
+
+    Each worker evaluates a contiguous slice of ``spec.grid_sides`` for
+    every machine; the surfaces are re-stacked in axis order, so the
+    result equals the unsharded sweep exactly.
+    """
+    jobs = _resolve_jobs(jobs)
+    chunks = axis_chunks(len(spec.grid_sides), jobs)
+    store = resolve_cache(cache)
+    if len(chunks) == 1:
+        if store is None:
+            return run_sweep(spec)
+        from repro.batch.analysis import cached_run_sweep
+
+        return cached_run_sweep(spec, store)
+
+    def compute() -> dict[str, np.ndarray]:
+        subspecs = [
+            SweepSpec(
+                grid_sides=spec.grid_sides[sl],
+                processors=spec.processors,
+                machines=spec.machines,
+                stencil=spec.stencil,
+                kind=spec.kind,
+                t_flop=spec.t_flop,
+            )
+            for sl in chunks
+        ]
+        with ProcessPoolExecutor(max_workers=len(subspecs)) as pool:
+            parts = list(pool.map(_sweep_chunk, subspecs))
+        return {
+            name: np.concatenate([part[name] for part in parts], axis=0)
+            for name in parts[0]
+        }
+
+    if store is None:
+        surfaces = compute()
+    else:
+        surfaces = store.get_or_compute(("run_sweep", spec), compute)
+    return SweepResult(
+        spec=spec, cycle_times={k: np.asarray(v) for k, v in surfaces.items()}
+    )

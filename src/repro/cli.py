@@ -11,12 +11,21 @@ Subcommands
 ``experiments``
     Run registered experiments (same as ``repro.experiments.runner``).
 
+``optimize`` and ``plan`` also run in whole-curve mode: ``--grid
+LO:HI[:STEP]`` (or an explicit comma list) sweeps the axis through the
+vectorized analysis layer and ``--cache-dir`` serves repeats from the
+content-addressed sweep cache; ``optimize`` additionally accepts
+``--jobs`` to shard large axes over a process pool.
+
 Examples::
 
     python -m repro machines
     python -m repro optimize --machine paper-bus --n 256 --stencil 5-point \
         --partition square --max-processors 16
+    python -m repro optimize --machine paper-bus --grid 64:4096:64 \
+        --cache-dir results/cache
     python -m repro plan --machine paper-bus --n 256
+    python -m repro plan --machine paper-bus --grid 2:2000
     python -m repro experiments E-FIG7
 """
 
@@ -29,6 +38,7 @@ from pathlib import Path
 from repro.core.allocation import optimize_allocation
 from repro.core.minimal_size import max_useful_processors, minimal_grid_side
 from repro.core.parameters import Workload
+from repro.errors import InvalidParameterError
 from repro.machines.bus import BusArchitecture
 from repro.machines.catalog import DEFAULT_MACHINES, by_name
 from repro.report.tables import format_kv_block, format_table
@@ -36,7 +46,41 @@ from repro.stencils.library import ALL_STENCILS
 from repro.stencils.library import by_name as stencil_by_name
 from repro.stencils.perimeter import PartitionKind
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "parse_axis"]
+
+
+def parse_axis(spec: str) -> list[int]:
+    """Parse a ``--grid`` axis: ``LO:HI``, ``LO:HI:STEP``, or ``a,b,c``.
+
+    Ranges are inclusive of ``HI`` when the step lands on it, matching
+    what a capacity plan over "64 to 4096 by 64" means.
+    """
+    try:
+        if ":" in spec:
+            parts = [int(p) for p in spec.split(":")]
+            if len(parts) == 2:
+                lo, hi, step = parts[0], parts[1], 1
+            elif len(parts) == 3:
+                lo, hi, step = parts
+            else:
+                raise ValueError("expected LO:HI or LO:HI:STEP")
+            if step < 1 or lo > hi:
+                raise ValueError("need LO <= HI and STEP >= 1")
+            return list(range(lo, hi + 1, step))
+        values = [int(p) for p in spec.split(",") if p.strip()]
+        if not values:
+            raise ValueError("empty axis")
+        return values
+    except ValueError as exc:
+        raise InvalidParameterError(f"bad --grid axis {spec!r}: {exc}") from None
+
+
+def _open_cache(cache_dir: Path | None):
+    if cache_dir is None:
+        return None
+    from repro.batch import SweepCache
+
+    return SweepCache(cache_dir)
 
 
 def _cmd_machines(_args: argparse.Namespace) -> int:
@@ -55,8 +99,10 @@ def _cmd_machines(_args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     machine = by_name(args.machine)
-    workload = Workload(n=args.n, stencil=stencil_by_name(args.stencil), t_flop=args.t_flop)
     kind = PartitionKind(args.partition)
+    if args.grid is not None:
+        return _optimize_grid(args, machine, kind)
+    workload = Workload(n=args.n, stencil=stencil_by_name(args.stencil), t_flop=args.t_flop)
     alloc = optimize_allocation(
         machine, workload, kind, max_processors=args.max_processors, integer=True
     )
@@ -77,6 +123,59 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             title="Optimal allocation",
         )
     )
+    return 0
+
+
+def _optimize_grid(args: argparse.Namespace, machine, kind: PartitionKind) -> int:
+    """Whole-curve ``optimize``: one table over the swept grid sides."""
+    from repro.batch import sharded_allocation_curve
+
+    sides = parse_axis(args.grid)
+    cache = _open_cache(args.cache_dir)
+    curve = sharded_allocation_curve(
+        machine,
+        stencil_by_name(args.stencil),
+        kind,
+        sides,
+        t_flop=args.t_flop,
+        max_processors=args.max_processors,
+        integer=True,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    rows = [
+        (
+            int(curve.grid_sides[i]),
+            curve.regime[i],
+            round(curve.processors[i].item(), 2),
+            round(curve.area[i].item(), 1),
+            curve.cycle_time[i].item(),
+            round(curve.speedup[i].item(), 3),
+            round(curve.efficiency[i].item(), 3),
+        )
+        for i in range(len(curve))
+    ]
+    print(
+        format_table(
+            [
+                "n",
+                "regime",
+                "processors",
+                "points per processor",
+                "cycle time (s)",
+                "speedup",
+                "efficiency",
+            ],
+            rows,
+            title=(
+                f"Optimal allocation curve: {args.machine}, {args.stencil}, "
+                f"{kind.value} partitions, {len(sides)} grid sides"
+            ),
+        )
+    )
+    if cache is not None:
+        print()
+        print(f"sweep cache: {cache.stats.describe()}")
     return 0
 
 
@@ -107,6 +206,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             title=f"Capacity plan: {args.machine}, {args.n} x {args.n}",
         )
     )
+    if args.grid is not None:
+        return _plan_grid(args, machine)
     rows = []
     for n_procs in (8, 16, 32):
         side = minimal_grid_side(machine, 1, 5.0, 1e-6, n_procs, PartitionKind.SQUARE)
@@ -121,6 +222,50 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_grid(args: argparse.Namespace, machine) -> int:
+    """Whole-curve capacity plan: minimal grid sides over the N axis."""
+    import numpy as np
+
+    from repro.batch import minimal_grid_side_curve
+
+    processors = parse_axis(args.grid)
+    cache = _open_cache(args.cache_dir)
+
+    def compute() -> dict:
+        return {
+            kind.value: minimal_grid_side_curve(
+                machine, 1, 5.0, 1e-6, processors, kind
+            )
+            for kind in (PartitionKind.STRIP, PartitionKind.SQUARE)
+        }
+
+    if cache is None:
+        curves = compute()
+    else:
+        request = ("plan_grid", machine, np.asarray(processors, dtype=float))
+        curves = cache.get_or_compute(request, compute)
+    rows = [
+        (
+            n_procs,
+            round(curves[PartitionKind.STRIP.value][i].item()),
+            round(curves[PartitionKind.SQUARE.value][i].item()),
+        )
+        for i, n_procs in enumerate(processors)
+    ]
+    print()
+    print(
+        format_table(
+            ["N processors", "min grid side (strips)", "min grid side (squares)"],
+            rows,
+            title=f"Capacity curve: {args.machine}, {len(processors)} machine sizes",
+        )
+    )
+    if cache is not None:
+        print()
+        print(f"sweep cache: {cache.stats.describe()}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_and_report
 
@@ -130,7 +275,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         for exp_id in sorted(all_experiments()):
             print(exp_id)
         return 0
-    return run_and_report(args.output, args.ids or None, jobs=args.jobs)
+    return run_and_report(
+        args.output, args.ids or None, jobs=args.jobs, cache_dir=args.cache_dir
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,11 +295,30 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--partition", default="square", choices=["strip", "square"])
     opt.add_argument("--max-processors", type=int, default=None)
     opt.add_argument("--t-flop", type=float, default=1e-6)
+    opt.add_argument(
+        "--grid",
+        default=None,
+        help="sweep grid sides (LO:HI[:STEP] or a,b,c) — whole-curve output",
+    )
+    opt.add_argument(
+        "--cache-dir", type=Path, default=None, help="sweep-cache directory"
+    )
+    opt.add_argument(
+        "--jobs", type=int, default=1, help="shard large --grid axes over N workers"
+    )
     opt.set_defaults(func=_cmd_optimize)
 
     plan = sub.add_parser("plan", help="capacity planning thresholds")
     plan.add_argument("--machine", default="paper-bus", choices=sorted(DEFAULT_MACHINES))
     plan.add_argument("--n", type=int, default=256)
+    plan.add_argument(
+        "--grid",
+        default=None,
+        help="sweep machine sizes N (LO:HI[:STEP] or a,b,c) — whole-curve output",
+    )
+    plan.add_argument(
+        "--cache-dir", type=Path, default=None, help="sweep-cache directory"
+    )
     plan.set_defaults(func=_cmd_plan)
 
     exp = sub.add_parser("experiments", help="run paper experiments")
@@ -161,6 +327,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--output", type=Path, default=None, help="CSV directory")
     exp.add_argument(
         "--jobs", type=int, default=1, help="experiments to run concurrently"
+    )
+    exp.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="enable the disk-backed sweep cache under this directory",
     )
     exp.set_defaults(func=_cmd_experiments)
 

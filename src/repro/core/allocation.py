@@ -105,20 +105,27 @@ def _integer_candidates(
     ``A_l = n·⌊Â/n⌋``, ``A_h = A_l + n`` rule.  Squares: bracket the
     processor count instead (areas ``n²/P`` for integer ``P``), since
     block decompositions exist for every integer ``P``.
+
+    Candidates come back in deterministic floor-then-ceil order, which
+    fixes the winner when the two bracketing areas tie exactly on cycle
+    time (the optimizer keeps the first strict minimum); the vectorized
+    :func:`repro.batch.analysis.optimal_allocation_curve` stacks its
+    candidate slots in the same order, so the tie-break is shared.
     """
     n = workload.n
-    cands: set[float] = set()
+    cands: list[float] = []
     if kind is PartitionKind.STRIP:
         h = continuous_area / n
         for hh in (math.floor(h), math.ceil(h)):
             hh = min(max(hh, 1), n)
-            cands.add(float(hh * n))
+            cands.append(float(hh * n))
     else:
         p = workload.grid_points / continuous_area
         for pp in (math.floor(p), math.ceil(p)):
             pp = max(pp, 1)
-            cands.add(workload.grid_points / pp)
-    return [a for a in cands if a_min - 1e-9 <= a <= a_max + 1e-9] or [continuous_area]
+            cands.append(workload.grid_points / pp)
+    deduped = list(dict.fromkeys(cands))
+    return [a for a in deduped if a_min - 1e-9 <= a <= a_max + 1e-9] or [continuous_area]
 
 
 def optimize_allocation(

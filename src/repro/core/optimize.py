@@ -78,14 +78,28 @@ def golden_section_minimize(
 def brute_force_minimize(
     f: Callable[[float], float], xs: Iterable[float]
 ) -> ScalarMinimum:
-    """Exact minimum over an explicit candidate set (integer feasibility)."""
+    """Exact minimum over an explicit candidate set (integer feasibility).
+
+    A single candidate is returned as-is (the admissible range can
+    collapse to one point, e.g. ``max_processors = 1``); an empty set
+    and an all-NaN objective are distinct errors, so a failed model
+    evaluation cannot masquerade as an empty range.
+    """
     best_x: float | None = None
     best_v = math.inf
+    evaluated = 0
     for x in xs:
+        evaluated += 1
         v = f(x)
-        if v < best_v:
+        if math.isnan(v):
+            continue
+        if best_x is None or v < best_v:
             best_x, best_v = x, v
     if best_x is None:
+        if evaluated:
+            raise InvalidParameterError(
+                f"objective returned NaN for all {evaluated} candidates"
+            )
         raise InvalidParameterError("empty candidate set")
     return ScalarMinimum(x=best_x, value=best_v)
 
@@ -96,13 +110,26 @@ def bracketing_integers(x: float, lo: int, hi: int) -> list[int]:
     Returns ``{floor(x), ceil(x)}`` clamped into ``[lo, hi]``, which is
     sufficient to restore integrality for a convex objective (the
     paper's ``A_l = n·⌊Â/n⌋, A_h = A_l + n`` rule is the same idea with
-    a stride).
+    a stride).  Degenerate ranges are handled explicitly rather than by
+    float rounding: ``lo == hi`` yields that single point whatever ``x``
+    is, an inverted range is an error, and a non-finite ``x`` (a
+    degenerate closed form evaluated at the boundary) clamps to the
+    nearest endpoint instead of propagating through ``floor``/``ceil``.
     """
     if lo > hi:
-        raise InvalidParameterError(f"empty integer range [{lo}, {hi}]")
+        raise InvalidParameterError(
+            f"empty integer range [{lo}, {hi}]: no feasible bracketing candidates"
+        )
+    if lo == hi:
+        return [lo]
+    if math.isnan(x):
+        raise InvalidParameterError(
+            "cannot bracket NaN; the continuous optimum is undefined"
+        )
+    if math.isinf(x):
+        return [lo] if x < 0 else [hi]
     cands = {int(math.floor(x)), int(math.ceil(x))}
-    out = sorted(min(max(c, lo), hi) for c in cands)
-    return sorted(set(out))
+    return sorted({min(max(c, lo), hi) for c in cands})
 
 
 def is_discretely_convex(values: Sequence[float], rel_tol: float = 1e-9) -> bool:

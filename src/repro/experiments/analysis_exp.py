@@ -19,8 +19,7 @@ import math
 
 import numpy as np
 
-from repro.core.isoefficiency import isoefficiency_exponent
-from repro.core.parameters import Workload
+from repro.batch import isoefficiency_exponent_grid
 from repro.experiments.registry import ExperimentResult, register
 from repro.machines.banyan import BanyanNetwork
 from repro.machines.bus import SynchronousBus
@@ -52,7 +51,6 @@ def run_isoefficiency(
         experiment_id="E-ISO",
         title="Isoefficiency: problem growth needed to hold efficiency",
     )
-    template = Workload(n=16, stencil=FIVE_POINT)
     configs = [
         ("hypercube / squares", Hypercube(alpha=1e-6, beta=1e-5, packet_words=16), SQUARE, 1.0),
         ("banyan / squares", BanyanNetwork(w=2e-7), SQUARE, 1.0),
@@ -61,8 +59,10 @@ def run_isoefficiency(
     ]
     rows = []
     for label, machine, kind, expected in configs:
-        fit = isoefficiency_exponent(
-            machine, template, kind, list(processor_counts), target_efficiency
+        # One batched efficiency search per configuration covers the
+        # whole processor axis (scalar oracle: core.isoefficiency).
+        fit = isoefficiency_exponent_grid(
+            machine, FIVE_POINT, kind, list(processor_counts), target_efficiency
         )
         rows.append((label, fit.exponent, expected, str(fit.problem_sizes)))
     result.add_table(

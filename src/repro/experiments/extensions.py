@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import math
 
-from repro.core.parameters import Workload
-from repro.core.scaling import fit_scaling_exponent, optimal_speedup_sweep
-from repro.core.speedup import optimal_speedup
+import numpy as np
+
+from repro.batch import optimal_allocation_curve
+from repro.core.scaling import fit_scaling_exponent
 from repro.experiments.registry import ExperimentResult, register
 from repro.machines.bus import AsynchronousBus, SynchronousBus
 from repro.machines.bus_extensions import FullyAsynchronousBus
@@ -50,13 +51,20 @@ def run_fully_async() -> ExperimentResult:
     sync = SynchronousBus(b=b, c=0.0)
     asyn = AsynchronousBus(b=b, c=0.0)
     full = FullyAsynchronousBus(b=b, c=0.0)
+    sizes = (1024, 4096)
+    # One batched optimal-allocation call per (overlap level, partition)
+    # covers the whole size axis.
+    speedups = {
+        (label, kind): optimal_allocation_curve(machine, FIVE_POINT, kind, sizes).speedup
+        for label, machine in (("sync", sync), ("async", asyn), ("full", full))
+        for kind in (STRIP, SQUARE)
+    }
     rows = []
-    for n in (1024, 4096):
-        w = Workload(n=n, stencil=FIVE_POINT)
+    for i, n in enumerate(sizes):
         for kind in (STRIP, SQUARE):
-            s_sync = optimal_speedup(sync, w, kind).speedup
-            s_async = optimal_speedup(asyn, w, kind).speedup
-            s_full = optimal_speedup(full, w, kind).speedup
+            s_sync = speedups[("sync", kind)][i].item()
+            s_async = speedups[("async", kind)][i].item()
+            s_full = speedups[("full", kind)][i].item()
             rows.append(
                 (n, kind.value, s_sync, s_async, s_full, s_full / s_async)
             )
@@ -67,10 +75,10 @@ def run_fully_async() -> ExperimentResult:
     )
     # Exponents must not improve: still 1/4 and 1/3.
     grids = [2**i for i in range(8, 14)]
-    w0 = Workload(n=16, stencil=FIVE_POINT)
+    n2 = np.array([float(n) * n for n in grids])
     exp_rows = []
     for kind, expected in ((STRIP, 0.25), (SQUARE, 1.0 / 3.0)):
-        n2, sp = optimal_speedup_sweep(full, w0, kind, grids)
+        sp = optimal_allocation_curve(full, FIVE_POINT, kind, grids).speedup
         exp_rows.append((kind.value, fit_scaling_exponent(n2, sp).exponent, expected))
     result.add_table(
         "fully-async growth exponents (unchanged)",
@@ -93,20 +101,21 @@ def run_mapping_ablation() -> ExperimentResult:
     )
     embedded = Hypercube(alpha=1e-6, beta=1e-5, packet_words=16)
     random_map = RandomMappingHypercube(alpha=1e-6, beta=1e-5, packet_words=16)
-    rows = []
-    for n in (256, 1024, 4096):
-        w = Workload(n=n, stencil=FIVE_POINT)
-        s_e = optimal_speedup(embedded, w, SQUARE).speedup
-        s_r = optimal_speedup(random_map, w, SQUARE).speedup
-        rows.append((n, s_e, s_r, s_e / s_r))
+    sizes = (256, 1024, 4096)
+    s_e = optimal_allocation_curve(embedded, FIVE_POINT, SQUARE, sizes).speedup
+    s_r = optimal_allocation_curve(random_map, FIVE_POINT, SQUARE, sizes).speedup
+    rows = [
+        (n, s_e[i].item(), s_r[i].item(), (s_e[i] / s_r[i]).item())
+        for i, n in enumerate(sizes)
+    ]
     result.add_table(
         "optimal speedup with and without the embedding",
         ["n", "embedded", "random mapping", "embedding gain"],
         rows,
     )
     grids = [2**i for i in range(8, 14)]
-    w0 = Workload(n=16, stencil=FIVE_POINT)
-    n2, sp = optimal_speedup_sweep(random_map, w0, SQUARE, grids)
+    n2 = np.array([float(n) * n for n in grids])
+    sp = optimal_allocation_curve(random_map, FIVE_POINT, SQUARE, grids).speedup
     fit = fit_scaling_exponent(n2, sp)
     result.add_table(
         "random-mapping growth exponent (drops below linear)",

@@ -21,10 +21,14 @@ from __future__ import annotations
 
 import math
 
-from repro.core.allocation import optimize_allocation
+from repro.batch import (
+    SweepSpec,
+    bus_optimal_area_curve,
+    cached_run_sweep,
+    optimal_allocation_curve,
+)
 from repro.core.leverage import leverage_factor
 from repro.core.parameters import Workload
-from repro.core.speedup import fixed_machine_speedup
 from repro.experiments.registry import ExperimentResult, register
 from repro.machines.bus import AsynchronousBus, SynchronousBus
 from repro.machines.catalog import FLEX32
@@ -32,6 +36,9 @@ from repro.stencils.library import FIVE_POINT
 from repro.stencils.perimeter import PartitionKind
 
 __all__ = ["run_intext"]
+
+STRIP = PartitionKind.STRIP
+SQUARE = PartitionKind.SQUARE
 
 
 def _paper_printed_strip(n: int, n_procs: int) -> float:
@@ -53,13 +60,26 @@ def run_intext_example() -> ExperimentResult:
         "read+write": SynchronousBus(b=b, c=0.0),
         "read-only": SynchronousBus(b=b, c=0.0, volume_mode="read_only"),
     }
+    sizes = (256, 1024)
+    # One sweep per partition shape covers both accountings and sizes.
+    speedup_at_16 = {
+        kind: cached_run_sweep(
+            SweepSpec(
+                grid_sides=sizes,
+                processors=(16.0,),
+                machines=tuple(machines.items()),
+                stencil=FIVE_POINT,
+                kind=kind,
+            )
+        )
+        for kind in (STRIP, SQUARE)
+    }
     rows = []
-    for n in (256, 1024):
-        w = Workload(n=n, stencil=FIVE_POINT)
+    for i, n in enumerate(sizes):
         row: list[object] = [n]
-        for label, machine in machines.items():
-            row.append(fixed_machine_speedup(machine, w, PartitionKind.STRIP, 16))
-            row.append(fixed_machine_speedup(machine, w, PartitionKind.SQUARE, 16))
+        for label in machines:
+            row.append(speedup_at_16[STRIP].speedup(label)[i, 0].item())
+            row.append(speedup_at_16[SQUARE].speedup(label)[i, 0].item())
         row.append(_paper_printed_strip(n, 16))
         row.append(_paper_printed_square(n, 16))
         rows.append(tuple(row))
@@ -90,22 +110,28 @@ def run_flex32_condition() -> ExperimentResult:
         experiment_id="E-TEXT2",
         title="c/b <= P necessary condition; FLEX/32 uses all processors",
     )
-    rows = []
     ratio = FLEX32.c / FLEX32.b
-    for n in (128, 256, 512, 1024):
-        w = Workload(n=n, stencil=FIVE_POINT)
-        for n_procs in (8, 16, 30):
-            alloc = optimize_allocation(
-                FLEX32, w, PartitionKind.SQUARE, max_processors=n_procs
-            )
+    sizes = (128, 256, 512, 1024)
+    caps = (8, 16, 30)
+    # One batched allocation curve per machine-size cap, whole n axis.
+    curves = {
+        n_procs: optimal_allocation_curve(
+            FLEX32, FIVE_POINT, SQUARE, sizes, max_processors=n_procs
+        )
+        for n_procs in caps
+    }
+    rows = []
+    for i, n in enumerate(sizes):
+        for n_procs in caps:
+            curve = curves[n_procs]
             rows.append(
                 (
                     n,
                     n_procs,
                     ratio,
-                    alloc.regime,
-                    alloc.processors,
-                    alloc.speedup,
+                    curve.regime[i],
+                    curve.processors[i].item(),
+                    curve.speedup[i].item(),
                 )
             )
     result.add_table(
@@ -181,20 +207,23 @@ def run_async_factors() -> ExperimentResult:
     )
     sync = SynchronousBus(b=6.1e-6, c=0.0)
     asyn = AsynchronousBus(b=6.1e-6, c=0.0)
+    sizes = (512, 2048, 8192)
+    # Batched optimal-speedup and optimal-area curves; the scalar
+    # core.speedup path remains the oracle the tests pin against.
+    speed = {
+        (label, kind): optimal_allocation_curve(machine, FIVE_POINT, kind, sizes).speedup
+        for label, machine in (("sync", sync), ("async", asyn))
+        for kind in (STRIP, SQUARE)
+    }
+    strip_area = {
+        label: bus_optimal_area_curve(machine, FIVE_POINT, STRIP, sizes)
+        for label, machine in (("sync", sync), ("async", asyn))
+    }
     rows = []
-    for n in (512, 2048, 8192):
-        w = Workload(n=n, stencil=FIVE_POINT)
-        from repro.core.speedup import optimal_speedup
-
-        st = (
-            optimal_speedup(asyn, w, PartitionKind.STRIP).speedup
-            / optimal_speedup(sync, w, PartitionKind.STRIP).speedup
-        )
-        sq = (
-            optimal_speedup(asyn, w, PartitionKind.SQUARE).speedup
-            / optimal_speedup(sync, w, PartitionKind.SQUARE).speedup
-        )
-        area_ratio = sync.optimal_strip_area(w) / asyn.optimal_strip_area(w)
+    for i, n in enumerate(sizes):
+        st = (speed[("async", STRIP)][i] / speed[("sync", STRIP)][i]).item()
+        sq = (speed[("async", SQUARE)][i] / speed[("sync", SQUARE)][i]).item()
+        area_ratio = (strip_area["sync"][i] / strip_area["async"][i]).item()
         rows.append((n, st, sq, area_ratio))
     result.add_table(
         "async/sync ratios",

@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import ExperimentError
-from repro.report.csvio import write_csv
+from repro.report.csvio import csv_filename, write_csv
 from repro.report.tables import format_table
 
 __all__ = ["ExperimentTable", "ExperimentResult", "register", "get_experiment", "all_experiments"]
@@ -86,11 +86,16 @@ class ExperimentResult:
         return "\n".join(parts)
 
     def write_csvs(self, directory: Path | str) -> list[Path]:
-        """One CSV per table, named ``<id>_<table>.csv``."""
+        """One CSV per table, named ``<id>_<table>.csv`` (ASCII slugs).
+
+        Table names are slugified (:func:`repro.report.csvio.slugify`)
+        so artifacts carry no em-dashes, parentheses, or colons;
+        :func:`repro.report.csvio.locate_csv` still resolves artifacts
+        written under the old nearly-raw scheme.
+        """
         out = []
         for table in self.tables:
-            safe = table.name.lower().replace(" ", "_").replace("/", "-")
-            path = Path(directory) / f"{self.experiment_id.lower()}_{safe}.csv"
+            path = Path(directory) / csv_filename(self.experiment_id, table.name)
             out.append(write_csv(path, table.headers, table.rows))
         return out
 

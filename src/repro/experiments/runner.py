@@ -49,6 +49,8 @@ class ExperimentRun:
     report: str
     seconds: float
     csv_paths: tuple[Path, ...]
+    #: Sweep-cache hit/miss counters for this run (``None`` = no cache).
+    cache_stats: dict[str, int] | None = None
 
 
 def _select_ids(ids: list[str] | None) -> list[str]:
@@ -69,20 +71,43 @@ def _select_ids(ids: list[str] | None) -> list[str]:
     return selected
 
 
-def _run_one(exp_id: str, output_dir: str) -> ExperimentRun:
+def _run_one(exp_id: str, output_dir: str, cache_dir: str | None = None) -> ExperimentRun:
     """Worker body: run one experiment and write its artifacts.
 
     Module-level so a process pool can pickle it; re-importing this
-    module in a worker repopulates the registry.
+    module in a worker repopulates the registry.  With ``cache_dir``
+    the run gets a disk-backed default sweep cache — warm entries left
+    by earlier runs (or earlier invocations) are served from the store,
+    and the run's hit/miss counters come back in the result.
     """
+    from repro.batch.cache import (
+        configure_default_cache,
+        default_cache,
+        set_default_cache,
+    )
+
+    stats = None
+    if cache_dir is not None:
+        previous = default_cache()
+        cache = configure_default_cache(Path(cache_dir))
     start = time.perf_counter()
-    result = get_experiment(exp_id)()
-    paths = tuple(result.write_csvs(Path(output_dir)))
+    try:
+        result = get_experiment(exp_id)()
+        paths = tuple(result.write_csvs(Path(output_dir)))
+        if cache_dir is not None:
+            stats = cache.stats.snapshot()
+    finally:
+        # Restore whatever default the caller had (jobs=1 runs in the
+        # caller's process, so clobbering it would silently disable
+        # their own caching after the run).
+        if cache_dir is not None:
+            set_default_cache(previous)
     return ExperimentRun(
         experiment_id=exp_id,
         report=result.render(),
         seconds=time.perf_counter() - start,
         csv_paths=paths,
+        cache_stats=stats,
     )
 
 
@@ -90,6 +115,7 @@ def run_experiments(
     output_dir: Path | None = None,
     ids: list[str] | None = None,
     jobs: int = 1,
+    cache_dir: Path | None = None,
 ) -> list[ExperimentRun]:
     """Run the selected (default: all) experiments; returns their outcomes.
 
@@ -98,18 +124,24 @@ def run_experiments(
     are returned in request order regardless of completion order.  The
     output directory (and parents) is created up front so a bad
     ``--output`` cannot fail mid-run after some experiments completed.
+    ``cache_dir`` enables the disk-backed sweep cache for every run
+    (workers share it through the filesystem).
     """
     if jobs < 1:
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
     output_dir = output_dir or default_results_dir()
     output_dir.mkdir(parents=True, exist_ok=True)
+    cache = None if cache_dir is None else str(cache_dir)
     selected = _select_ids(ids)
     if not selected:
         return []
     if jobs == 1 or len(selected) == 1:
-        return [_run_one(exp_id, str(output_dir)) for exp_id in selected]
+        return [_run_one(exp_id, str(output_dir), cache) for exp_id in selected]
     with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
-        futures = [pool.submit(_run_one, exp_id, str(output_dir)) for exp_id in selected]
+        futures = [
+            pool.submit(_run_one, exp_id, str(output_dir), cache)
+            for exp_id in selected
+        ]
         return [f.result() for f in futures]
 
 
@@ -136,10 +168,41 @@ def _timing_table(runs: list[ExperimentRun], elapsed: float) -> str:
     )
 
 
+def _cache_table(runs: list[ExperimentRun]) -> str | None:
+    """Per-run sweep-cache hits/misses, plus the warm/cold verdict.
+
+    A run whose requests were all served from the store is labelled
+    ``warm``; any recomputation marks it ``cold``.
+    """
+    reported = [r for r in runs if r.cache_stats is not None]
+    if not reported:
+        return None
+    rows = []
+    total_hits = total_misses = 0
+    for r in reported:
+        s = r.cache_stats
+        hits = s["memory_hits"] + s["disk_hits"]
+        misses = s["misses"]
+        total_hits += hits
+        total_misses += misses
+        state = "-" if hits + misses == 0 else ("warm" if misses == 0 else "cold")
+        rows.append((r.experiment_id, hits, misses, state))
+    state = (
+        "warm" if total_hits and not total_misses else "cold"
+    ) if total_hits + total_misses else "-"
+    rows.append(("total", total_hits, total_misses, state))
+    return format_table(
+        ["experiment", "cache hits", "cache misses", "state"],
+        rows,
+        title="Sweep cache",
+    )
+
+
 def run_and_report(
     output_dir: Path | None = None,
     ids: list[str] | None = None,
     jobs: int = 1,
+    cache_dir: Path | None = None,
 ) -> int:
     """Run experiments and print reports plus the wall-time summary.
 
@@ -147,13 +210,17 @@ def run_and_report(
     ``python -m repro.experiments.runner``.
     """
     start = time.perf_counter()
-    runs = run_experiments(output_dir, ids, jobs=jobs)
+    runs = run_experiments(output_dir, ids, jobs=jobs, cache_dir=cache_dir)
     elapsed = time.perf_counter() - start
     for run in runs:
         print(run.report)
         print()
     if runs:
         print(_timing_table(runs, elapsed))
+        cache_report = _cache_table(runs)
+        if cache_report is not None:
+            print()
+            print(cache_report)
     return 0
 
 
@@ -165,13 +232,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1, help="experiments to run concurrently"
     )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="enable the disk-backed sweep cache under this directory",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for exp_id in sorted(all_experiments()):
             print(exp_id)
         return 0
-    return run_and_report(args.output, args.ids or None, jobs=args.jobs)
+    return run_and_report(
+        args.output, args.ids or None, jobs=args.jobs, cache_dir=args.cache_dir
+    )
 
 
 if __name__ == "__main__":

@@ -14,19 +14,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.cycle_time import cycle_time_vs_processors
-from repro.core.parameters import Workload
-from repro.core.scaling import (
-    fit_scaling_exponent,
-    scaled_speedup_banyan,
-    scaled_speedup_hypercube,
+from repro.batch import (
+    SweepSpec,
+    cached_run_sweep,
+    scaled_speedup_banyan_curve,
+    scaled_speedup_hypercube_curve,
 )
+from repro.core.scaling import fit_scaling_exponent
 from repro.experiments.registry import ExperimentResult, register
 from repro.machines.banyan import BanyanNetwork
 from repro.machines.hypercube import Hypercube
 from repro.machines.mesh import MeshGrid
 from repro.stencils.library import FIVE_POINT
 from repro.stencils.perimeter import PartitionKind
+
+# The scalar oracles (repro.core.scaling / repro.core.cycle_time) remain
+# the reference; tests/batch pins these curves against them bit for bit.
 
 __all__ = ["run_scaled", "run_extremal"]
 
@@ -41,14 +44,23 @@ def run_scaled(points_per_processor: float = 64.0) -> ExperimentResult:
     net = BanyanNetwork(w=2e-7)
     t_flop = 1e-6
     grid_sides = [2**e for e in range(6, 14)]
-    rows = []
-    cube_s, net_s = [], []
-    for n in grid_sides:
-        sc = scaled_speedup_hypercube(cube, FIVE_POINT, t_flop, n, points_per_processor)
-        sn = scaled_speedup_banyan(net, FIVE_POINT, t_flop, n, points_per_processor)
-        cube_s.append(sc)
-        net_s.append(sn)
-        rows.append((n, n * n, n * n / points_per_processor, sc, sn, sc / sn))
+    # One batched call per architecture sweeps the whole size axis.
+    cube_s = [
+        v.item()
+        for v in scaled_speedup_hypercube_curve(
+            cube, FIVE_POINT, t_flop, grid_sides, points_per_processor
+        )
+    ]
+    net_s = [
+        v.item()
+        for v in scaled_speedup_banyan_curve(
+            net, FIVE_POINT, t_flop, grid_sides, points_per_processor
+        )
+    ]
+    rows = [
+        (n, n * n, n * n / points_per_processor, cube_s[i], net_s[i], cube_s[i] / net_s[i])
+        for i, n in enumerate(grid_sides)
+    ]
     result.add_table(
         f"scaled speedup, F = {points_per_processor:g} points/processor",
         ["n", "n^2", "processors", "hypercube", "banyan", "cube/banyan"],
@@ -97,11 +109,20 @@ def run_extremal() -> ExperimentResult:
         ("banyan", BanyanNetwork(w=2e-7)),
         ("hypercube (slow net)", Hypercube(alpha=5e-4, beta=5e-3, packet_words=16)),
     ]
-    w = Workload(n=64, stencil=FIVE_POINT)
     processors = np.arange(1, 65, dtype=float)
+    # One sweep over (n=64, P in [1, 64]) covers all four machines; the
+    # per-machine argmin over the processor axis is then a reduction.
+    spec = SweepSpec(
+        grid_sides=(64,),
+        processors=tuple(processors),
+        machines=tuple(machines),
+        stencil=FIVE_POINT,
+        kind=PartitionKind.SQUARE,
+    )
+    surfaces = cached_run_sweep(spec)
     rows = []
-    for name, machine in machines:
-        times = cycle_time_vs_processors(machine, w, PartitionKind.SQUARE, processors)
+    for name, _machine in machines:
+        times = surfaces.cycle_time(name)[0]
         best_idx = int(np.argmin(times))
         best_p = int(processors[best_idx])
         extremal = best_p in (1, int(processors[-1]))

@@ -119,7 +119,12 @@ def measured_spectral_radius(stencil: Stencil, n: int) -> float:
     if n * n <= 3:
         dense = np.linalg.eigvals(w.toarray())
         return float(np.max(np.abs(dense)))
+    # Fixed start vector: ARPACK's default v0 is random, which perturbs
+    # the converged eigenvalue in its last ULPs and made repeated runs
+    # write byte-different artifacts.  Any dense vector works; ones is
+    # never orthogonal to the dominant low-frequency mode.
+    v0 = np.ones(w.shape[0])
     vals = spla.eigsh(
-        w.asfptype(), k=k, which="LM", return_eigenvectors=False, maxiter=5000
+        w.asfptype(), k=k, which="LM", return_eigenvectors=False, maxiter=5000, v0=v0
     )
     return float(np.max(np.abs(vals)))

@@ -1,0 +1,164 @@
+"""The content-addressed sweep cache: keys, levels, stats, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    SweepCache,
+    SweepSpec,
+    cached_run_sweep,
+    clear_default_cache,
+    configure_default_cache,
+    default_cache,
+    fingerprint,
+    optimal_allocation_curve,
+    run_sweep,
+)
+from repro.machines.catalog import PAPER_BUS, PAPER_BUS_ASYNC
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
+from repro.stencils.perimeter import PartitionKind
+
+SQUARE = PartitionKind.SQUARE
+SIDES = list(range(64, 512, 16))
+
+
+@pytest.fixture(autouse=True)
+def _no_default_cache():
+    """Keep the process-wide default cache out of other tests' way."""
+    clear_default_cache()
+    yield
+    clear_default_cache()
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        req = ("op", PAPER_BUS, FIVE_POINT, SQUARE, np.arange(5.0))
+        assert fingerprint(req) == fingerprint(req)
+
+    def test_distinguishes_machine_parameters(self):
+        a = fingerprint(("op", PAPER_BUS))
+        b = fingerprint(("op", PAPER_BUS_ASYNC))
+        c = fingerprint(("op", type(PAPER_BUS)(b=PAPER_BUS.b * 2, c=0.0)))
+        assert len({a, b, c}) == 3
+
+    def test_distinguishes_stencil_kind_and_axis(self):
+        base = ("op", PAPER_BUS, FIVE_POINT, SQUARE, np.arange(5.0))
+        variants = [
+            ("op", PAPER_BUS, NINE_POINT_BOX, SQUARE, np.arange(5.0)),
+            ("op", PAPER_BUS, FIVE_POINT, PartitionKind.STRIP, np.arange(5.0)),
+            ("op", PAPER_BUS, FIVE_POINT, SQUARE, np.arange(6.0)),
+        ]
+        digests = {fingerprint(base)} | {fingerprint(v) for v in variants}
+        assert len(digests) == 4
+
+
+class TestSweepCacheLevels:
+    def test_memory_hit_returns_identical_arrays(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        c1 = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cache
+        )
+        c2 = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cache
+        )
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        np.testing.assert_array_equal(c1.speedup, c2.speedup)
+        np.testing.assert_array_equal(c1.area, c2.area)
+        assert c1.regime == c2.regime
+
+    def test_disk_hit_after_restart(self, tmp_path):
+        cold = SweepCache(tmp_path)
+        c1 = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cold
+        )
+        warm = SweepCache(tmp_path)  # fresh memory, same directory
+        c2 = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=warm
+        )
+        assert warm.stats.disk_hits == 1 and warm.stats.misses == 0
+        np.testing.assert_array_equal(c1.cycle_time, c2.cycle_time)
+        assert c1.regime == c2.regime  # string arrays survive the .npz round trip
+
+    def test_memory_only_cache(self):
+        cache = SweepCache()  # no directory at all
+        optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=cache)
+        optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=cache)
+        assert cache.stats.snapshot() == {
+            "memory_hits": 1,
+            "disk_hits": 0,
+            "misses": 1,
+        }
+
+    def test_different_requests_do_not_collide(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        c_sq = optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=cache)
+        c_st = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, PartitionKind.STRIP, SIDES, cache=cache
+        )
+        assert cache.stats.misses == 2
+        assert not np.array_equal(c_sq.speedup, c_st.speedup)
+
+    def test_cached_result_equals_uncached(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cached = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cache
+        )
+        direct = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True
+        )
+        np.testing.assert_array_equal(cached.speedup, direct.speedup)
+        np.testing.assert_array_equal(cached.processors, direct.processors)
+        assert cached.regime == direct.regime
+
+    def test_cached_arrays_cannot_be_poisoned_in_place(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        c1 = optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=cache)
+        with pytest.raises(ValueError):
+            c1.speedup[:] = 0.0  # read-only: mutation cannot corrupt the store
+        c2 = optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=cache)
+        direct = optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES)
+        np.testing.assert_array_equal(c2.speedup, direct.speedup)
+
+    def test_describe_labels_warm_and_cold(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=cache)
+        assert "[cold]" in cache.stats.describe()
+        warm = SweepCache(tmp_path)
+        optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, cache=warm)
+        assert "[warm]" in warm.stats.describe()
+
+
+class TestCachedSweep:
+    def test_sweep_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        spec = SweepSpec.across_catalog(
+            SIDES, [1.0, 4.0, 16.0], machines=["ipsc", "paper-bus"]
+        )
+        r1 = cached_run_sweep(spec, cache)
+        r2 = cached_run_sweep(spec, cache)
+        plain = run_sweep(spec)
+        assert cache.stats.misses == 1 and cache.stats.memory_hits == 1
+        for name in ("ipsc", "paper-bus"):
+            np.testing.assert_array_equal(r1.cycle_time(name), plain.cycle_time(name))
+            np.testing.assert_array_equal(r2.cycle_time(name), plain.cycle_time(name))
+
+    def test_without_cache_is_passthrough(self):
+        spec = SweepSpec.across_catalog([64], [1.0, 2.0], machines=["ipsc"])
+        np.testing.assert_array_equal(
+            cached_run_sweep(spec).cycle_time("ipsc"),
+            run_sweep(spec).cycle_time("ipsc"),
+        )
+
+
+class TestDefaultCache:
+    def test_configure_and_clear(self, tmp_path):
+        assert default_cache() is None
+        cache = configure_default_cache(tmp_path)
+        assert default_cache() is cache
+        # Analysis calls with no explicit cache route through the default.
+        optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES)
+        optimal_allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, SIDES)
+        assert cache.stats.memory_hits == 1
+        clear_default_cache()
+        assert default_cache() is None

@@ -54,6 +54,24 @@ class TestBruteForce:
         with pytest.raises(InvalidParameterError):
             brute_force_minimize(lambda x: x, [])
 
+    def test_single_candidate_returned_as_is(self):
+        best = brute_force_minimize(lambda x: x * x, [3.0])
+        assert (best.x, best.value) == (3.0, 9.0)
+
+    def test_nan_values_are_skipped(self):
+        f = lambda x: math.nan if x == 1.0 else x
+        best = brute_force_minimize(f, [1.0, 2.0, 3.0])
+        assert (best.x, best.value) == (2.0, 2.0)
+
+    def test_all_nan_objective_is_distinct_error(self):
+        with pytest.raises(InvalidParameterError, match="NaN"):
+            brute_force_minimize(lambda x: math.nan, [1.0, 2.0])
+
+    def test_infinite_minimum_is_legitimate(self):
+        best = brute_force_minimize(lambda x: math.inf, [1.0, 2.0])
+        assert best.x == 1.0
+        assert math.isinf(best.value)
+
 
 class TestBracketing:
     def test_interior_value(self):
@@ -69,8 +87,23 @@ class TestBracketing:
         assert bracketing_integers(99.5, 1, 10) == [10]
 
     def test_empty_range(self):
-        with pytest.raises(InvalidParameterError):
+        with pytest.raises(InvalidParameterError, match="empty integer range"):
             bracketing_integers(3.0, 5, 4)
+
+    def test_single_point_range_ignores_x(self):
+        # A collapsed admissible range (a_min == a_max) must not depend
+        # on float rounding of the continuous optimum.
+        assert bracketing_integers(3.0, 7, 7) == [7]
+        assert bracketing_integers(6.9999999999, 7, 7) == [7]
+        assert bracketing_integers(-1e300, 7, 7) == [7]
+
+    def test_nan_optimum_rejected(self):
+        with pytest.raises(InvalidParameterError, match="NaN"):
+            bracketing_integers(math.nan, 1, 10)
+
+    def test_infinite_optimum_clamps_to_endpoint(self):
+        assert bracketing_integers(math.inf, 1, 10) == [10]
+        assert bracketing_integers(-math.inf, 1, 10) == [1]
 
 
 class TestConvexityCheck:

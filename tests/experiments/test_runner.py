@@ -63,3 +63,34 @@ class TestBackCompat:
         reports = run_all(tmp_path, ids=["E-KTAB"])
         assert len(reports) == 1
         assert reports[0].startswith("[E-KTAB]")
+
+
+class TestRunnerCache:
+    def test_cache_stats_surfaced_and_warm_on_second_run(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_experiments(tmp_path / "out", ids=["E-TEXT2"], cache_dir=cache_dir)
+        assert cold[0].cache_stats is not None
+        assert cold[0].cache_stats["misses"] > 0
+        warm = run_experiments(tmp_path / "out", ids=["E-TEXT2"], cache_dir=cache_dir)
+        assert warm[0].cache_stats["misses"] == 0
+        assert warm[0].cache_stats["disk_hits"] > 0
+
+    def test_no_cache_dir_means_no_stats(self, tmp_path):
+        runs = run_experiments(tmp_path / "out", ids=["E-KTAB"])
+        assert runs[0].cache_stats is None
+
+    def test_callers_default_cache_is_restored(self, tmp_path):
+        from repro.batch.cache import (
+            clear_default_cache,
+            configure_default_cache,
+            default_cache,
+        )
+
+        mine = configure_default_cache(tmp_path / "mine")
+        try:
+            run_experiments(
+                tmp_path / "out", ids=["E-KTAB"], cache_dir=tmp_path / "other"
+            )
+            assert default_cache() is mine
+        finally:
+            clear_default_cache()

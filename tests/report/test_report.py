@@ -122,3 +122,75 @@ class TestCsv:
     def test_bad_row_width_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="cells"):
             write_csv(tmp_path / "x.csv", ["a", "b"], [[1]])
+
+
+class TestSlugify:
+    def test_ascii_only_output(self):
+        from repro.report.csvio import slugify
+
+        names = [
+            "log2(n^2_min) — 5-point",
+            "n² growth exponent in N at efficiency 0.5",
+            "section 6.1 anchor: max useful processors on 256x256 squares",
+            "best processor count over P in [1, 64], n=64 squares",
+            "c-dominated bus (c/b=1000): leverage of 2x speedups",
+        ]
+        for name in names:
+            slug = slugify(name)
+            assert slug
+            assert all(c.islower() or c.isdigit() or c in "._-" for c in slug), slug
+
+    def test_known_foldings(self):
+        from repro.report.csvio import slugify
+
+        assert slugify("log2(n^2_min) — 5-point") == "log2n2_min_-_5-point"
+        assert slugify("n² growth / exponent") == "n2_growth_-_exponent"
+        assert slugify("a: b, (c)") == "a_b_c"
+
+    def test_empty_or_symbol_only_names_get_placeholder(self):
+        from repro.report.csvio import slugify
+
+        assert slugify("§§§") == "table"
+
+    def test_distinct_names_stay_distinct(self):
+        from repro.report.csvio import slugify
+
+        assert slugify("curves — 5-point") != slugify("curves — 9-point-box")
+
+
+class TestArtifactNaming:
+    def test_csv_filename_is_safe(self):
+        from repro.report.csvio import csv_filename
+
+        name = csv_filename("E-FIG7", "log2(n^2_min) — 5-point")
+        assert name == "e-fig7_log2n2_min_-_5-point.csv"
+
+    def test_locate_prefers_canonical(self, tmp_path):
+        from repro.report.csvio import csv_filename, locate_csv
+
+        canonical = tmp_path / csv_filename("E-X", "a — b")
+        canonical.write_text("new\n")
+        assert locate_csv(tmp_path, "E-X", "a — b") == canonical
+
+    def test_locate_falls_back_to_legacy_with_warning(self, tmp_path):
+        from repro.report.csvio import legacy_csv_filename, locate_csv
+
+        legacy = tmp_path / legacy_csv_filename("E-X", "a — b")
+        legacy.write_text("old\n")
+        with pytest.warns(DeprecationWarning, match="legacy artifact"):
+            found = locate_csv(tmp_path, "E-X", "a — b")
+        assert found == legacy
+
+    def test_locate_returns_canonical_when_nothing_exists(self, tmp_path):
+        from repro.report.csvio import csv_filename, locate_csv
+
+        expected = tmp_path / csv_filename("E-X", "fresh table")
+        assert locate_csv(tmp_path, "E-X", "fresh table") == expected
+
+    def test_write_csvs_uses_slugs(self, tmp_path):
+        from repro.experiments.registry import ExperimentResult
+
+        result = ExperimentResult(experiment_id="E-X", title="t")
+        result.add_table("log2(n^2_min) — 5-point", ["a"], [[1]])
+        (path,) = result.write_csvs(tmp_path)
+        assert path.name == "e-x_log2n2_min_-_5-point.csv"

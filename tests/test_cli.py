@@ -73,3 +73,168 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestParseAxis:
+    def test_range_inclusive(self):
+        from repro.cli import parse_axis
+
+        assert parse_axis("2:6") == [2, 3, 4, 5, 6]
+        assert parse_axis("64:256:64") == [64, 128, 192, 256]
+
+    def test_comma_list(self):
+        from repro.cli import parse_axis
+
+        assert parse_axis("8,16,32") == [8, 16, 32]
+
+    def test_bad_specs_rejected(self):
+        from repro.cli import parse_axis
+        from repro.errors import InvalidParameterError
+
+        for bad in ("", "5:2", "1:10:0", "a:b", "1:2:3:4", ","):
+            with pytest.raises(InvalidParameterError):
+                parse_axis(bad)
+
+
+class TestExitCodes:
+    def test_all_subcommands_return_zero(self, capsys, tmp_path):
+        assert main(["machines"]) == 0
+        assert main(["optimize", "--machine", "paper-bus", "--n", "64"]) == 0
+        assert main(["plan", "--machine", "paper-bus", "--n", "64"]) == 0
+        assert main(["experiments", "--list"]) == 0
+        capsys.readouterr()
+
+    def test_table_headers_present(self, capsys):
+        main(["machines"])
+        out = capsys.readouterr().out
+        assert "preset" in out and "model" in out and "parameters" in out
+        main(["plan", "--machine", "paper-bus", "--n", "256"])
+        out = capsys.readouterr().out
+        assert "stencil" in out and "partition" in out
+        assert "min grid side (squares, 5-point)" in out
+
+
+class TestOptimizeGrid:
+    def test_whole_curve_table(self, capsys):
+        code = main(
+            ["optimize", "--machine", "paper-bus", "--grid", "64:256:64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Optimal allocation curve" in out
+        assert "regime" in out and "speedup" in out and "efficiency" in out
+        # One row per swept grid side.
+        assert all(f"\n{n} " in out for n in (64, 128, 192, 256))
+
+    def test_grid_rows_match_scalar_optimizer(self, capsys):
+        from repro.core.allocation import optimize_allocation
+        from repro.core.parameters import Workload
+        from repro.machines.catalog import PAPER_BUS
+        from repro.stencils.library import FIVE_POINT
+        from repro.stencils.perimeter import PartitionKind
+
+        main(["optimize", "--machine", "paper-bus", "--grid", "256:256"])
+        out = capsys.readouterr().out
+        scalar = optimize_allocation(
+            PAPER_BUS,
+            Workload(n=256, stencil=FIVE_POINT),
+            PartitionKind.SQUARE,
+            integer=True,
+        )
+        assert str(round(scalar.speedup, 3)) in out
+        assert scalar.regime in out
+
+    def test_cache_dir_reports_cold_then_warm(self, capsys, tmp_path):
+        args = [
+            "optimize",
+            "--machine",
+            "paper-bus",
+            "--grid",
+            "64:128:64",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        main(args)
+        assert "[cold]" in capsys.readouterr().out
+        main(args)
+        out = capsys.readouterr().out
+        assert "[warm]" in out and "sweep cache" in out
+
+    def test_bad_grid_spec_raises(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            main(["optimize", "--machine", "paper-bus", "--grid", "9:1"])
+
+
+class TestPlanGrid:
+    def test_capacity_curve_table(self, capsys):
+        code = main(["plan", "--machine", "paper-bus", "--grid", "2:10:2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Capacity curve" in out
+        assert "min grid side (strips)" in out
+        assert "min grid side (squares)" in out
+        # The --n anchor table is still shown above the curve.
+        assert "max useful processors" in out
+
+    def test_cache_warm_hit_reported(self, capsys, tmp_path):
+        args = [
+            "plan",
+            "--machine",
+            "paper-bus",
+            "--grid",
+            "2:20:2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        main(args)
+        capsys.readouterr()
+        main(args)
+        assert "[warm]" in capsys.readouterr().out
+
+
+class TestExperimentsOutput:
+    def test_output_directory_created(self, capsys, tmp_path):
+        target = tmp_path / "fresh" / "nested"
+        assert not target.exists()
+        code = main(["experiments", "E-KTAB", "--output", str(target)])
+        assert code == 0
+        assert target.is_dir()
+        assert list(target.glob("e-ktab_*.csv"))
+        capsys.readouterr()
+
+    def test_artifact_names_are_ascii_slugs(self, capsys, tmp_path):
+        main(["experiments", "E-KTAB", "--output", str(tmp_path)])
+        capsys.readouterr()
+        for path in tmp_path.glob("*.csv"):
+            assert all(
+                c.islower() or c.isdigit() or c in "._-" for c in path.name
+            ), path.name
+
+    def test_cache_dir_surfaces_stats_table(self, capsys, tmp_path):
+        main(
+            [
+                "experiments",
+                "E-TEXT2",
+                "--output",
+                str(tmp_path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "Sweep cache" in out
+        assert "cold" in out
+        main(
+            [
+                "experiments",
+                "E-TEXT2",
+                "--output",
+                str(tmp_path),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "warm" in out
