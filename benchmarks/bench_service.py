@@ -1,0 +1,162 @@
+"""BENCH-SERVICE: the sweep daemon vs direct calls, and request dedup.
+
+Two measurements, recorded to ``results/BENCH_service.json`` so the
+serving layer's behavior is tracked across PRs:
+
+* **server vs direct latency** — a warm allocation-curve request
+  through ``repro serve`` (HTTP round trip + exact array decode)
+  versus the same request answered by the in-process cache.  The wire
+  overhead is the price of sharing one store across processes; it is
+  reported, not gated.
+* **dedup under concurrency** — 8 concurrent clients each issue the
+  same cold request 4 times.  Fingerprint coalescing plus the shared
+  cache must answer at least 90% of the 32 requests without
+  recomputing (the gate): one thread computes, everyone else is served.
+
+Run as a script (CI's smoke bench) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    pytest benchmarks/bench_service.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import SweepCache, optimal_allocation_curve
+from repro.machines.catalog import PAPER_BUS
+from repro.report.csvio import default_results_dir
+from repro.service import ServiceClient, SweepServer
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+SIDES = list(range(64, 2064, 4))  # 500-point axis: a realistic curve request
+CLIENTS = 8
+ROUNDS = 4
+
+#: The acceptance bar: fraction of concurrent identical requests that
+#: must be answered by the cache or by coalescing onto the one compute.
+MIN_DEDUP_RATIO = 0.90
+
+
+def bench_latency(server: SweepServer) -> dict:
+    """Median warm-request latency: daemon round trip vs direct cache."""
+    client = ServiceClient(server.url)
+    kind = PartitionKind.SQUARE
+
+    direct_cache = SweepCache()
+    optimal_allocation_curve(
+        PAPER_BUS, FIVE_POINT, kind, SIDES, integer=True, cache=direct_cache
+    )
+    client.allocation_curve("paper-bus", "5-point", "square", SIDES, integer=True)
+
+    server_times = []
+    direct_times = []
+    for _ in range(9):
+        start = time.perf_counter()
+        served = client.allocation_curve(
+            "paper-bus", "5-point", "square", SIDES, integer=True
+        )
+        server_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        direct = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, kind, SIDES, integer=True, cache=direct_cache
+        )
+        direct_times.append(time.perf_counter() - start)
+    np.testing.assert_array_equal(served.speedup, direct.speedup)
+    server_s = float(np.median(server_times))
+    direct_s = float(np.median(direct_times))
+    return {
+        "points": len(SIDES),
+        "warm_server_seconds": server_s,
+        "warm_direct_seconds": direct_s,
+        "wire_overhead_seconds": server_s - direct_s,
+        "last_served": client.last_served,
+    }
+
+
+def bench_dedup(server: SweepServer) -> dict:
+    """Concurrent identical cold requests: how many avoided a compute?"""
+    before = server.stats_payload()
+    axis = list(range(100, 1400, 3))  # distinct from the latency axis: cold
+
+    def fire() -> None:
+        client = ServiceClient(server.url)
+        for _ in range(ROUNDS):
+            client.allocation_curve(
+                "paper-bus", "9-point-box", "strip", axis, integer=True
+            )
+
+    threads = [threading.Thread(target=fire) for _ in range(CLIENTS)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    after = server.stats_payload()
+
+    requests = after["counters"]["requests"] - before["counters"]["requests"]
+    computed = after["counters"]["computed"] - before["counters"]["computed"]
+    coalesced = after["counters"]["coalesced"] - before["counters"]["coalesced"]
+    batched = after["counters"]["batched"] - before["counters"]["batched"]
+    # Compute-path hits only — the same numerator /v1/stats reports, so
+    # the gated ratio matches what an operator sees.
+    hits = after["counters"]["hits"] - before["counters"]["hits"]
+    deduplicated = hits + coalesced + batched
+    return {
+        "clients": CLIENTS,
+        "rounds": ROUNDS,
+        "requests": requests,
+        "computed": computed,
+        "coalesced": coalesced,
+        "batched": batched,
+        "cache_hits": hits,
+        "dedup_ratio": deduplicated / requests if requests else 0.0,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def run_bench(output_path: Path | None = None) -> dict:
+    with SweepServer(port=0) as server:
+        payload = {
+            "bench": "service",
+            "latency": bench_latency(server),
+            "dedup": bench_dedup(server),
+            "min_dedup_ratio": MIN_DEDUP_RATIO,
+        }
+    path = output_path or (default_results_dir() / "BENCH_service.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    payload["path"] = str(path)
+    return payload
+
+
+def test_bench_service(results_dir):
+    payload = run_bench(results_dir / "BENCH_service.json")
+    print()
+    print(json.dumps(payload, indent=2))
+    dedup = payload["dedup"]
+    assert dedup["dedup_ratio"] >= MIN_DEDUP_RATIO, dedup
+    assert payload["latency"]["last_served"] == "memory"
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    ratio = report["dedup"]["dedup_ratio"]
+    ok = ratio >= MIN_DEDUP_RATIO
+    print(
+        f"dedup ratio {ratio:.3f} over {report['dedup']['requests']} concurrent "
+        f"identical requests ({'PASS' if ok else 'FAIL'} >= {MIN_DEDUP_RATIO}); "
+        f"warm server request {report['latency']['warm_server_seconds'] * 1e3:.2f} ms "
+        f"vs direct {report['latency']['warm_direct_seconds'] * 1e3:.2f} ms"
+    )
+    sys.exit(0 if ok else 1)

@@ -170,6 +170,43 @@ def main() -> None:
                 f"cache: {cache.stats.describe()})",
             )
         )
+    print()
+
+    # ------------------------------------------------- the sweep server
+    # `python -m repro serve` runs this daemon standalone; here it runs
+    # on a background thread with an ephemeral port.  Identical
+    # concurrent requests coalesce onto one compute, compatible
+    # allocation requests micro-batch onto one vectorized call, and
+    # --max-cache-mb (max_cache_mb=) keeps the store LRU-bounded.
+    # Responses are byte-identical to computing offline.
+    from repro.service import ServiceClient, SweepServer
+
+    with SweepServer(port=0, max_cache_mb=16) as server:
+        client = ServiceClient(server.url)
+        sides = [256, 1024, 4096]
+        served = client.allocation_curve(
+            "paper-bus", "5-point", "square", sides, integer=True
+        )
+        served = client.allocation_curve(  # warm: answered from the store
+            "paper-bus", "5-point", "square", sides, integer=True
+        )
+        print(
+            format_table(
+                ["n", "regime", "speedup"],
+                [
+                    (
+                        int(served.grid_sides[i]),
+                        served.regime[i],
+                        round(served.speedup[i].item(), 2),
+                    )
+                    for i in range(len(served))
+                ],
+                title=(
+                    f"Served by the sweep daemon at {server.url} "
+                    f"(second request: {client.last_served})"
+                ),
+            )
+        )
 
 
 if __name__ == "__main__":

@@ -81,6 +81,7 @@ from repro.batch.cache import (
 from repro.batch.shard import (
     axis_chunks,
     run_sweep_sharded,
+    sharded_allocation_arrays,
     sharded_allocation_curve,
 )
 
@@ -111,6 +112,7 @@ __all__ = [
     "rectangle_error_curves",
     "run_sweep",
     "run_sweep_sharded",
+    "sharded_allocation_arrays",
     "scaled_speedup_banyan_curve",
     "scaled_speedup_hypercube_curve",
     "sharded_allocation_curve",

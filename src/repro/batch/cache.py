@@ -15,9 +15,19 @@ Keys are SHA-256 digests of a canonical encoding of the request
 only if they are semantically identical — machine parameters, stencil,
 partition kind, axes, and tolerances all feed the digest.
 
-Hit/miss statistics are tracked per cache and surfaced in the
-experiment runner's report and the CLI's ``--cache-dir`` output, so a
-warm cache is visible, not silent.
+Cross-machine dedup: plain bus machines encode as their *closed-form
+constants* rather than their raw fields, so two presets whose cycle-time
+surfaces are bit-identical — a ``read_write`` synchronous bus and the
+``read_only`` bus with doubled constants, or two asynchronous buses
+differing only in ``volume_mode`` — canonicalize to one fingerprint and
+their sweeps are computed once (see :func:`_canonical_bus`).
+
+Both tiers can be size-bounded (``max_bytes``): entries are tracked in
+least-recently-used order and evicted once the tier exceeds the bound,
+with eviction counts surfaced in :class:`CacheStats`.  Hit/miss
+statistics are tracked per cache and surfaced in the experiment
+runner's report and the CLI's ``--cache-dir`` output, so a warm cache
+is visible, not silent.
 """
 
 from __future__ import annotations
@@ -26,16 +36,23 @@ import enum
 import hashlib
 import os
 import tempfile
+import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.errors import InvalidParameterError
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+
 __all__ = [
     "CacheStats",
     "SweepCache",
     "fingerprint",
+    "max_cache_bytes",
     "configure_default_cache",
     "clear_default_cache",
     "set_default_cache",
@@ -44,9 +61,44 @@ __all__ = [
 ]
 
 
+def max_cache_bytes(max_cache_mb: float | None) -> int | None:
+    """The one MiB→bytes conversion behind every ``--max-cache-mb`` flag."""
+    return None if max_cache_mb is None else int(max_cache_mb * 2**20)
+
+#: Orphaned temp files younger than this are left alone — they may
+#: belong to a live writer in another process; older ones are crash
+#: debris and are swept when a cache opens the directory.
+ORPHAN_TMP_MAX_AGE_S = 3600.0
+
+
 # --------------------------------------------------------------------------
 # Canonical request encoding
 # --------------------------------------------------------------------------
+
+
+def _canonical_bus(obj: object) -> object | None:
+    """Closed-form canonical encoding for plain bus machines, else ``None``.
+
+    A :class:`SynchronousBus` cycle-time surface depends on its fields
+    only through the products ``v·b`` and ``v·c`` where ``v`` is the
+    direction factor (2 for ``read_write``, 1 for ``read_only``): every
+    closed form multiplies ``(v·k)·b`` with ``v`` a power of two, so a
+    ``read_write`` bus and the ``read_only`` bus with exactly doubled
+    constants produce bit-identical results and share one fingerprint.
+    An :class:`AsynchronousBus` never consults ``volume_mode`` at all
+    (reads and writes enter its cycle separately), so the mode is
+    dropped from its encoding.
+
+    Exact ``type`` checks on purpose: subclasses (e.g. the fully
+    asynchronous extension) override the formulas, so they keep the
+    generic field-by-field encoding.
+    """
+    if type(obj) is SynchronousBus:
+        v = float(obj._direction_factor())
+        return ("bus-closed-form", "synchronous", repr(v * obj.b), repr(v * obj.c))
+    if type(obj) is AsynchronousBus:
+        return ("bus-closed-form", "asynchronous", repr(obj.b), repr(obj.c))
+    return None
 
 
 def _canonical(obj: object) -> object:
@@ -55,7 +107,8 @@ def _canonical(obj: object) -> object:
     Dataclasses (machines, stencils, specs) encode as their qualified
     class name plus all field values; arrays as shape/dtype/content
     digest.  Two objects encode equal iff the model treats them as the
-    same input.
+    same input — including bus presets that share a closed form (see
+    :func:`_canonical_bus`).
     """
     if isinstance(obj, np.ndarray):
         data = np.ascontiguousarray(obj)
@@ -65,6 +118,9 @@ def _canonical(obj: object) -> object:
             data.dtype.str,
             hashlib.sha256(data.tobytes()).hexdigest(),
         )
+    bus = _canonical_bus(obj)
+    if bus is not None:
+        return bus
     if is_dataclass(obj) and not isinstance(obj, type):
         return (
             type(obj).__qualname__,
@@ -102,11 +158,13 @@ def fingerprint(request: object) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one :class:`SweepCache`."""
+    """Hit/miss/eviction counters for one :class:`SweepCache`."""
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    memory_evictions: int = 0
+    disk_evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -116,20 +174,45 @@ class CacheStats:
     def requests(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def evictions(self) -> int:
+        return self.memory_evictions + self.disk_evictions
+
     def snapshot(self) -> dict[str, int]:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "memory_evictions": self.memory_evictions,
+            "disk_evictions": self.disk_evictions,
         }
+
+    def merge(self, other: "CacheStats | Mapping[str, int]") -> "CacheStats":
+        """Add another cache's counters (a worker's snapshot) into this one.
+
+        Multi-process paths — sharded workers, runner pools, the sweep
+        service — each count in their own process; aggregating their
+        snapshots is how a report shows the true totals instead of
+        silently dropping worker activity.
+        """
+        counts = other.snapshot() if isinstance(other, CacheStats) else other
+        self.memory_hits += int(counts.get("memory_hits", 0))
+        self.disk_hits += int(counts.get("disk_hits", 0))
+        self.misses += int(counts.get("misses", 0))
+        self.memory_evictions += int(counts.get("memory_evictions", 0))
+        self.disk_evictions += int(counts.get("disk_evictions", 0))
+        return self
 
     def describe(self) -> str:
         """One-line summary, labelling a fully warm cache as such."""
         state = "warm" if self.hits and not self.misses else "cold"
-        return (
+        line = (
             f"{self.hits} hits ({self.memory_hits} memory, {self.disk_hits} disk), "
             f"{self.misses} misses [{state}]"
         )
+        if self.evictions:
+            line += f", {self.evictions} evictions"
+        return line
 
 
 class SweepCache:
@@ -138,14 +221,39 @@ class SweepCache:
     Values are mappings from array name to ``np.ndarray`` — exactly what
     the analysis layer's curve objects serialize to.  Disk writes are
     atomic (write to a temp file, then rename), so concurrent sharded
-    workers sharing one ``cache_dir`` never observe torn files.
+    workers sharing one ``cache_dir`` never observe torn files; temp
+    files orphaned by a worker that crashed mid-write are swept the
+    next time a cache opens the directory.
+
+    ``max_bytes`` bounds each tier independently: the memory dictionary
+    evicts least-recently-used entries past the bound, and the ``.npz``
+    store deletes its oldest files (disk hits refresh a file's age) so
+    the directory never outgrows the configured size.  The entry being
+    served or written is never evicted, so a single oversized result
+    still works — the bound is a steady-state ceiling, not a hard
+    admission limit.
     """
 
-    def __init__(self, cache_dir: Path | str | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Path | str | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise InvalidParameterError(
+                f"max_bytes must be positive (or None for unbounded), got {max_bytes}"
+            )
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_bytes = max_bytes
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._memory: dict[str, dict[str, np.ndarray]] = {}
+            self._sweep_orphaned_tmp_files()
+        self._memory: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        # Tier mutations are serialized so threaded consumers (the sweep
+        # service handles each HTTP request on its own thread) see
+        # consistent LRU order and stats.  Computes never run under the
+        # lock — get_or_compute only locks the lookup and the store.
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------- internals
@@ -154,6 +262,26 @@ class SweepCache:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{key}.npz"
+
+    def _sweep_orphaned_tmp_files(self) -> int:
+        """Remove crash debris (stale ``*.npz.tmp*`` files) from the dir.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` leaves
+        its temp file behind forever; they are never read (lookups only
+        open ``<key>.npz``) but would accumulate unbounded.  Fresh temp
+        files are left alone — they may belong to a live writer in
+        another process.
+        """
+        removed = 0
+        cutoff = time.time() - ORPHAN_TMP_MAX_AGE_S
+        for path in self.cache_dir.glob("*.npz.tmp*"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with another sweeper or a live writer
+        return removed
 
     @staticmethod
     def _freeze(arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -168,30 +296,94 @@ class SweepCache:
             a.flags.writeable = False
         return arrays
 
-    def lookup(self, key: str) -> dict[str, np.ndarray] | None:
-        """Fetch by fingerprint, recording the hit level (or the miss)."""
-        hit = self._memory.get(key)
-        if hit is not None:
-            self.stats.memory_hits += 1
-            return hit
+    @staticmethod
+    def _entry_nbytes(arrays: Mapping[str, np.ndarray]) -> int:
+        return sum(a.nbytes for a in arrays.values())
+
+    def _evict_memory(self, protect: str) -> None:
+        """Drop least-recently-used memory entries past ``max_bytes``.
+
+        ``protect`` (the entry just stored or fetched) is never evicted
+        even when it alone exceeds the bound — callers hold a reference
+        to it and hits must stay hits.
+        """
+        if self.max_bytes is None:
+            return
+        total = sum(self._entry_nbytes(v) for v in self._memory.values())
+        while total > self.max_bytes and len(self._memory) > 1:
+            key = next(iter(self._memory))
+            if key == protect:
+                # LRU order puts the protected key first only when it is
+                # the sole survivor-to-be; stop rather than rotate.
+                break
+            total -= self._entry_nbytes(self._memory.pop(key))
+            self.stats.memory_evictions += 1
+
+    def _evict_disk(self, protect: str) -> None:
+        """Delete oldest ``.npz`` files until the store fits ``max_bytes``.
+
+        Ages come from mtimes, which disk hits refresh — so the policy
+        is LRU, not FIFO.  Another process may race the unlink; a
+        vanished file just means the eviction already happened.
+        """
+        if self.max_bytes is None or self.cache_dir is None:
+            return
+        entries = []
+        for path in self.cache_dir.glob("*.npz"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        protected = f"{protect}.npz"
+        for _, size, path in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if path.name == protected:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            total -= size
+            with self._lock:
+                self.stats.disk_evictions += 1
+
+    # -------------------------------------------------- disk-tier primitives
+
+    def _disk_fetch(self, key: str) -> dict[str, np.ndarray] | None:
+        """Read one entry from the slow tier, or ``None``.
+
+        A truncated or garbage file — a crashed writer on a filesystem
+        without atomic rename, manual tampering — is a *miss*, not a
+        crash: the bad file is discarded so the recompute can rewrite
+        it.  Remote tiers (the sweep service's client cache) override
+        this pair of hooks.
+        """
         path = self._disk_path(key)
-        if path is not None and path.exists():
+        if path is None or not path.exists():
+            return None
+        try:
             with np.load(path, allow_pickle=False) as npz:
                 arrays = {name: npz[name] for name in npz.files}
-            self._memory[key] = self._freeze(arrays)
-            self.stats.disk_hits += 1
-            return arrays
-        self.stats.misses += 1
-        return None
+        except Exception:
+            # Corrupt entry: drop it and treat the lookup as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh LRU age; hot entries survive eviction
+        except OSError:
+            pass
+        return arrays
 
-    def store(self, key: str, arrays: Mapping[str, np.ndarray]) -> None:
-        value = self._freeze(
-            {name: np.array(a, copy=True) for name, a in arrays.items()}
-        )
-        self._memory[key] = value
-        path = self._disk_path(key)
-        if path is None:
+    def _disk_put(self, key: str, value: Mapping[str, np.ndarray]) -> None:
+        if self.cache_dir is None:
             return
+        path = self._disk_path(key)
         fd, tmp = tempfile.mkstemp(dir=str(self.cache_dir), suffix=".npz.tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -201,8 +393,61 @@ class SweepCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._evict_disk(protect=key)
 
     # ------------------------------------------------------------ public API
+
+    def lookup(self, key: str) -> dict[str, np.ndarray] | None:
+        """Fetch by fingerprint, recording the hit level (or the miss)."""
+        return self.lookup_level(key)[0]
+
+    def lookup_level(
+        self, key: str
+    ) -> tuple[dict[str, np.ndarray] | None, str | None]:
+        """Like :meth:`lookup`, also reporting which tier answered.
+
+        Returns ``(arrays, "memory"|"disk")`` on a hit and
+        ``(None, None)`` on a miss.  The sweep service uses the level to
+        label responses; everything else can ignore it.
+        """
+        with self._lock:
+            hit = self._memory.get(key)
+            if hit is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return hit, "memory"
+            arrays = self._disk_fetch(key)
+            if arrays is not None:
+                value = self._freeze(arrays)
+                self._memory[key] = value
+                self._evict_memory(protect=key)
+                self.stats.disk_hits += 1
+                return value, "disk"
+            self.stats.misses += 1
+            return None, None
+
+    def store(
+        self, key: str, arrays: Mapping[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        """Insert an entry in both tiers; returns the frozen stored value.
+
+        Callers use the return value rather than re-reading
+        ``self._memory`` — a bounded cache may evict any entry but the
+        one just stored, and even that guarantee is easier to keep out
+        of callers' way.
+        """
+        value = self._freeze(
+            {name: np.array(a, copy=True) for name, a in arrays.items()}
+        )
+        with self._lock:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            self._evict_memory(protect=key)
+        # The slow tier (atomic .npz write + eviction scan, or the
+        # remote daemon round trip) runs outside the lock so concurrent
+        # memory-tier hits in a threaded server never stall behind IO.
+        self._disk_put(key, value)
+        return value
 
     def get_or_compute(
         self,
@@ -214,10 +459,9 @@ class SweepCache:
         cached = self.lookup(key)
         if cached is not None:
             return cached
-        self.store(key, compute())
         # Return the stored (read-only) copy so misses and hits hand
         # back the same kind of object.
-        return self._memory[key]
+        return self.store(key, compute())
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -230,7 +474,9 @@ class SweepCache:
 _DEFAULT_CACHE: SweepCache | None = None
 
 
-def configure_default_cache(cache_dir: Path | str | None = None) -> SweepCache:
+def configure_default_cache(
+    cache_dir: Path | str | None = None, max_bytes: int | None = None
+) -> SweepCache:
     """Install (and return) the process-wide default cache.
 
     Analysis functions called without an explicit ``cache=`` use this
@@ -239,7 +485,7 @@ def configure_default_cache(cache_dir: Path | str | None = None) -> SweepCache:
     here, including in sharded worker processes.
     """
     global _DEFAULT_CACHE
-    _DEFAULT_CACHE = SweepCache(cache_dir)
+    _DEFAULT_CACHE = SweepCache(cache_dir, max_bytes=max_bytes)
     return _DEFAULT_CACHE
 
 

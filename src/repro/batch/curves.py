@@ -86,7 +86,10 @@ def bus_optimal_area_curve(
             return np.sqrt(coeff / et)
         k = stencil.reach
         side = _libm_pow(4.0 * k * machine.b * n**2 / et, 1.0 / 3.0)
-        return side**2
+        # The scalar path squares the side with ``**`` (libm pow), which
+        # can land 1 ULP from the rounded product NumPy's ``**2``
+        # computes — the transcription must follow libm.
+        return _libm_pow(side, 2.0)
     if type(machine) is SynchronousBus:
         v = 2.0 * (2 if machine.volume_mode == "read_write" else 1)
         if kind is PartitionKind.STRIP:
@@ -96,7 +99,7 @@ def bus_optimal_area_curve(
         k = stencil.reach
         if machine.c == 0.0:
             side = _libm_pow(v * k * machine.b * n**2 / et, 1.0 / 3.0)
-            return side**2
+            return _libm_pow(side, 2.0)  # libm squaring; see the async case
     if isinstance(machine, BusArchitecture):
         from repro.core.parameters import Workload
 

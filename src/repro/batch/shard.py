@@ -37,7 +37,12 @@ from repro.machines.base import Architecture
 from repro.stencils.perimeter import PartitionKind
 from repro.stencils.stencil import Stencil
 
-__all__ = ["axis_chunks", "sharded_allocation_curve", "run_sweep_sharded"]
+__all__ = [
+    "axis_chunks",
+    "sharded_allocation_arrays",
+    "sharded_allocation_curve",
+    "run_sweep_sharded",
+]
 
 #: Below this many axis points a chunk is not worth a process round-trip.
 MIN_CHUNK = 64
@@ -84,6 +89,44 @@ def _allocation_chunk(payload: tuple) -> dict[str, np.ndarray]:
     return curve.to_arrays()
 
 
+def sharded_allocation_arrays(
+    machine: Architecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+    max_processors: float | None = None,
+    integer: bool = False,
+    jobs: int | None = None,
+) -> dict[str, np.ndarray]:
+    """Raw fan-out: the allocation-curve arrays, sharded, *uncached*.
+
+    The compute body shared by :func:`sharded_allocation_curve` and the
+    sweep service's micro-batcher.  The batcher evaluates a merged axis
+    for several coalesced requests and stores only the per-request
+    slices, so it needs the fan-out without a whole-axis cache entry —
+    keeping the store deduplicated at request granularity.
+    """
+    jobs = _resolve_jobs(jobs)
+    sides = np.asarray(grid_sides, dtype=float)
+    if sides.ndim != 1 or sides.size == 0:
+        raise InvalidParameterError("grid_sides must be a non-empty 1-D axis")
+    chunks = axis_chunks(int(sides.size), jobs)
+    if len(chunks) == 1:
+        return _compute_allocation_curve(
+            machine, stencil, kind, sides, t_flop, max_processors, integer
+        ).to_arrays()
+    payloads = [
+        (machine, stencil, kind, sides[sl], t_flop, max_processors, integer)
+        for sl in chunks
+    ]
+    with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        parts = list(pool.map(_allocation_chunk, payloads))
+    return {
+        name: np.concatenate([part[name] for part in parts]) for name in parts[0]
+    }
+
+
 def sharded_allocation_curve(
     machine: Architecture,
     stencil: Stencil,
@@ -120,16 +163,9 @@ def sharded_allocation_curve(
         )
 
     def compute() -> dict[str, np.ndarray]:
-        payloads = [
-            (machine, stencil, kind, sides[sl], t_flop, max_processors, integer)
-            for sl in chunks
-        ]
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-            parts = list(pool.map(_allocation_chunk, payloads))
-        return {
-            name: np.concatenate([part[name] for part in parts])
-            for name in parts[0]
-        }
+        return sharded_allocation_arrays(
+            machine, stencil, kind, sides, t_flop, max_processors, integer, jobs
+        )
 
     store = resolve_cache(cache)
     if store is None:

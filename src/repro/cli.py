@@ -10,12 +10,18 @@ Subcommands
     Capacity planning: max useful processors and minimal grid sizes.
 ``experiments``
     Run registered experiments (same as ``repro.experiments.runner``).
+``serve``
+    Long-running sweep server: plan/optimize/sweep over HTTP with a
+    shared, size-bounded, deduplicated result cache.
 
 ``optimize`` and ``plan`` also run in whole-curve mode: ``--grid
 LO:HI[:STEP]`` (or an explicit comma list) sweeps the axis through the
 vectorized analysis layer and ``--cache-dir`` serves repeats from the
-content-addressed sweep cache; ``optimize`` additionally accepts
-``--jobs`` to shard large axes over a process pool.
+content-addressed sweep cache (``--max-cache-mb`` bounds it);
+``optimize`` additionally accepts ``--jobs`` to shard large axes over a
+process pool.  With ``--server URL`` both commands route through a
+running ``repro serve`` daemon instead of computing locally — the
+output is byte-identical either way.
 
 Examples::
 
@@ -27,6 +33,9 @@ Examples::
     python -m repro plan --machine paper-bus --n 256
     python -m repro plan --machine paper-bus --grid 2:2000
     python -m repro experiments E-FIG7
+    python -m repro serve --port 8733 --cache-dir results/cache --max-cache-mb 64
+    python -m repro optimize --machine paper-bus --grid 64:4096:64 \
+        --server http://127.0.0.1:8733
 """
 
 from __future__ import annotations
@@ -75,12 +84,45 @@ def parse_axis(spec: str) -> list[int]:
         raise InvalidParameterError(f"bad --grid axis {spec!r}: {exc}") from None
 
 
-def _open_cache(cache_dir: Path | None):
+def _open_cache(cache_dir: Path | None, max_cache_mb: float | None = None):
     if cache_dir is None:
         return None
-    from repro.batch import SweepCache
+    from repro.batch.cache import SweepCache, max_cache_bytes
 
-    return SweepCache(cache_dir)
+    return SweepCache(cache_dir, max_bytes=max_cache_bytes(max_cache_mb))
+
+
+def _reject_server_plus_cache(
+    args: argparse.Namespace, locally_meaningful: tuple[str, ...] = ()
+) -> None:
+    """Fail fast on flags that do nothing once a daemon owns the work.
+
+    ``experiments --server`` passes ``locally_meaningful`` for the flags
+    that still act in this process — ``--jobs`` sizes the worker pool
+    and ``--max-cache-mb`` bounds each worker's memory tier — while for
+    ``optimize``/``plan`` the daemon owns store, bound, and sharding.
+    """
+    if not getattr(args, "server", None):
+        return
+    if getattr(args, "cache_dir", None):
+        raise InvalidParameterError(
+            "--server and --cache-dir are mutually exclusive: a running "
+            "daemon owns the shared store (start it with `repro serve "
+            "--cache-dir ...`)"
+        )
+    if (
+        getattr(args, "max_cache_mb", None) is not None
+        and "max_cache_mb" not in locally_meaningful
+    ):
+        raise InvalidParameterError(
+            "--max-cache-mb has no effect with --server here: bound the "
+            "daemon's store instead (`repro serve --max-cache-mb ...`)"
+        )
+    if getattr(args, "jobs", 1) != 1 and "jobs" not in locally_meaningful:
+        raise InvalidParameterError(
+            "--jobs has no effect with --server here: the daemon shards "
+            "large axes itself (`repro serve --jobs ...`)"
+        )
 
 
 def _cmd_machines(_args: argparse.Namespace) -> int:
@@ -97,15 +139,23 @@ def _cmd_machines(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    machine = by_name(args.machine)
-    kind = PartitionKind(args.partition)
-    if args.grid is not None:
-        return _optimize_grid(args, machine, kind)
-    workload = Workload(n=args.n, stencil=stencil_by_name(args.stencil), t_flop=args.t_flop)
-    alloc = optimize_allocation(
-        machine, workload, kind, max_processors=args.max_processors, integer=True
-    )
+# --------------------------------------------------------------------------
+# optimize
+# --------------------------------------------------------------------------
+
+
+def _render_optimize_point(
+    args: argparse.Namespace,
+    kind: PartitionKind,
+    regime: str,
+    processors: float,
+    area: float,
+    cycle_time: float,
+    speedup: float,
+    efficiency: float,
+) -> None:
+    """One allocation as a kv block — the shape both the offline scalar
+    path and the daemon-served path feed, so their bytes can't drift."""
     print(
         format_kv_block(
             {
@@ -113,36 +163,70 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                 "grid": f"{args.n} x {args.n}",
                 "stencil": args.stencil,
                 "partition": kind.value,
-                "regime": alloc.regime,
-                "processors": round(alloc.processors, 2),
-                "points per processor": round(alloc.area, 1),
-                "cycle time (s)": alloc.cycle_time,
-                "speedup": round(alloc.speedup, 3),
-                "efficiency": round(alloc.efficiency, 3),
+                "regime": regime,
+                "processors": round(processors, 2),
+                "points per processor": round(area, 1),
+                "cycle time (s)": cycle_time,
+                "speedup": round(speedup, 3),
+                "efficiency": round(efficiency, 3),
             },
             title="Optimal allocation",
         )
     )
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    _reject_server_plus_cache(args)
+    machine = by_name(args.machine)
+    kind = PartitionKind(args.partition)
+    if args.grid is not None:
+        return _optimize_grid(args, machine, kind)
+    if args.server:
+        # A one-point curve: element 0 equals the scalar optimizer bit
+        # for bit (the analysis layer's pinned contract), so the block
+        # below renders the same bytes the offline branch prints.
+        from repro.service import ServiceClient
+
+        curve = ServiceClient(args.server).allocation_curve(
+            args.machine,
+            args.stencil,
+            kind.value,
+            [args.n],
+            t_flop=args.t_flop,
+            max_processors=args.max_processors,
+            integer=True,
+        )
+        _render_optimize_point(
+            args,
+            kind,
+            curve.regime[0],
+            curve.processors[0].item(),
+            curve.area[0].item(),
+            curve.cycle_time[0].item(),
+            curve.speedup[0].item(),
+            curve.efficiency[0].item(),
+        )
+        return 0
+    workload = Workload(n=args.n, stencil=stencil_by_name(args.stencil), t_flop=args.t_flop)
+    alloc = optimize_allocation(
+        machine, workload, kind, max_processors=args.max_processors, integer=True
+    )
+    _render_optimize_point(
+        args,
+        kind,
+        alloc.regime,
+        alloc.processors,
+        alloc.area,
+        alloc.cycle_time,
+        alloc.speedup,
+        alloc.efficiency,
+    )
     return 0
 
 
-def _optimize_grid(args: argparse.Namespace, machine, kind: PartitionKind) -> int:
-    """Whole-curve ``optimize``: one table over the swept grid sides."""
-    from repro.batch import sharded_allocation_curve
-
-    sides = parse_axis(args.grid)
-    cache = _open_cache(args.cache_dir)
-    curve = sharded_allocation_curve(
-        machine,
-        stencil_by_name(args.stencil),
-        kind,
-        sides,
-        t_flop=args.t_flop,
-        max_processors=args.max_processors,
-        integer=True,
-        jobs=args.jobs,
-        cache=cache,
-    )
+def _render_allocation_curve(
+    args: argparse.Namespace, kind: PartitionKind, curve, n_sides: int
+) -> None:
     rows = [
         (
             int(curve.grid_sides[i]),
@@ -169,17 +253,88 @@ def _optimize_grid(args: argparse.Namespace, machine, kind: PartitionKind) -> in
             rows,
             title=(
                 f"Optimal allocation curve: {args.machine}, {args.stencil}, "
-                f"{kind.value} partitions, {len(sides)} grid sides"
+                f"{kind.value} partitions, {n_sides} grid sides"
             ),
         )
     )
+
+
+def _optimize_grid(args: argparse.Namespace, machine, kind: PartitionKind) -> int:
+    """Whole-curve ``optimize``: one table over the swept grid sides."""
+    sides = parse_axis(args.grid)
+    if args.server:
+        from repro.service import ServiceClient
+
+        curve = ServiceClient(args.server).allocation_curve(
+            args.machine,
+            args.stencil,
+            kind.value,
+            sides,
+            t_flop=args.t_flop,
+            max_processors=args.max_processors,
+            integer=True,
+        )
+        _render_allocation_curve(args, kind, curve, len(sides))
+        return 0
+    from repro.batch import sharded_allocation_curve
+
+    cache = _open_cache(args.cache_dir, args.max_cache_mb)
+    curve = sharded_allocation_curve(
+        machine,
+        stencil_by_name(args.stencil),
+        kind,
+        sides,
+        t_flop=args.t_flop,
+        max_processors=args.max_processors,
+        integer=True,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    _render_allocation_curve(args, kind, curve, len(sides))
     if cache is not None:
         print()
         print(f"sweep cache: {cache.stats.describe()}")
     return 0
 
 
+# --------------------------------------------------------------------------
+# plan
+# --------------------------------------------------------------------------
+
+
+def _render_plan_thresholds(args: argparse.Namespace, rows: list[tuple]) -> None:
+    print(
+        format_table(
+            ["stencil", "partition", "max useful processors"],
+            rows,
+            title=f"Capacity plan: {args.machine}, {args.n} x {args.n}",
+        )
+    )
+
+
+def _render_plan_defaults(rows: list[tuple]) -> None:
+    print()
+    print(
+        format_table(
+            ["N processors", "min grid side (squares, 5-point)"],
+            rows,
+        )
+    )
+
+
+def _render_plan_grid(args: argparse.Namespace, rows: list[tuple], n_points: int) -> None:
+    print()
+    print(
+        format_table(
+            ["N processors", "min grid side (strips)", "min grid side (squares)"],
+            rows,
+            title=f"Capacity curve: {args.machine}, {n_points} machine sizes",
+        )
+    )
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
+    _reject_server_plus_cache(args)
     machine = by_name(args.machine)
     if not isinstance(machine, BusArchitecture):
         print(
@@ -188,6 +343,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             "locally).  Capacity planning thresholds apply to buses."
         )
         return 0
+    if args.server:
+        return _plan_via_server(args)
     rows = []
     for stencil in ALL_STENCILS:
         w = Workload(n=args.n, stencil=stencil)
@@ -199,25 +356,53 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                     round(max_useful_processors(machine, w, kind), 1),
                 )
             )
-    print(
-        format_table(
-            ["stencil", "partition", "max useful processors"],
-            rows,
-            title=f"Capacity plan: {args.machine}, {args.n} x {args.n}",
-        )
-    )
+    _render_plan_thresholds(args, rows)
     if args.grid is not None:
         return _plan_grid(args, machine)
     rows = []
     for n_procs in (8, 16, 32):
         side = minimal_grid_side(machine, 1, 5.0, 1e-6, n_procs, PartitionKind.SQUARE)
         rows.append((n_procs, round(side)))
-    print()
-    print(
-        format_table(
-            ["N processors", "min grid side (squares, 5-point)"],
-            rows,
+    _render_plan_defaults(rows)
+    return 0
+
+
+def _plan_via_server(args: argparse.Namespace) -> int:
+    """The whole ``plan`` output from one daemon request, same bytes."""
+    from repro.service import ServiceClient
+
+    grid = None if args.grid is None else parse_axis(args.grid)
+    plan = ServiceClient(args.server).plan(args.machine, args.n, grid)
+    kinds = (PartitionKind.STRIP, PartitionKind.SQUARE)
+    rows = [
+        (
+            str(plan["stencils"][i]),
+            kind.value,
+            round(plan["max_useful"][i, j].item(), 1),
         )
+        for i in range(plan["stencils"].size)
+        for j, kind in enumerate(kinds)
+    ]
+    _render_plan_thresholds(args, rows)
+    if grid is None:
+        _render_plan_defaults(
+            [
+                (int(p), round(side.item()))
+                for p, side in zip(plan["default_processors"], plan["default_sides"])
+            ]
+        )
+        return 0
+    _render_plan_grid(
+        args,
+        [
+            (
+                int(plan["grid_processors"][i]),
+                round(plan["grid_strip"][i].item()),
+                round(plan["grid_square"][i].item()),
+            )
+            for i in range(plan["grid_processors"].size)
+        ],
+        len(grid),
     )
     return 0
 
@@ -229,7 +414,7 @@ def _plan_grid(args: argparse.Namespace, machine) -> int:
     from repro.batch import minimal_grid_side_curve
 
     processors = parse_axis(args.grid)
-    cache = _open_cache(args.cache_dir)
+    cache = _open_cache(args.cache_dir, args.max_cache_mb)
 
     def compute() -> dict:
         return {
@@ -252,18 +437,16 @@ def _plan_grid(args: argparse.Namespace, machine) -> int:
         )
         for i, n_procs in enumerate(processors)
     ]
-    print()
-    print(
-        format_table(
-            ["N processors", "min grid side (strips)", "min grid side (squares)"],
-            rows,
-            title=f"Capacity curve: {args.machine}, {len(processors)} machine sizes",
-        )
-    )
+    _render_plan_grid(args, rows, len(processors))
     if cache is not None:
         print()
         print(f"sweep cache: {cache.stats.describe()}")
     return 0
+
+
+# --------------------------------------------------------------------------
+# experiments / serve
+# --------------------------------------------------------------------------
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -275,9 +458,39 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         for exp_id in sorted(all_experiments()):
             print(exp_id)
         return 0
+    _reject_server_plus_cache(args, locally_meaningful=("jobs", "max_cache_mb"))
     return run_and_report(
-        args.output, args.ids or None, jobs=args.jobs, cache_dir=args.cache_dir
+        args.output,
+        args.ids or None,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        server=args.server,
+        max_cache_mb=args.max_cache_mb,
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SweepServer
+
+    server = SweepServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.cache_dir is None else str(args.cache_dir),
+        max_cache_mb=args.max_cache_mb,
+        jobs=args.jobs,
+        batch_window_s=args.batch_window,
+    )
+    bound = "unbounded" if args.max_cache_mb is None else f"{args.max_cache_mb:g} MiB/tier"
+    store = "memory only" if args.cache_dir is None else str(args.cache_dir)
+    print(f"repro sweep server listening on {server.url}", flush=True)
+    print(f"store: {store} ({bound}); GET /v1/stats for counters", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -304,7 +517,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", type=Path, default=None, help="sweep-cache directory"
     )
     opt.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="LRU bound per cache tier (MiB); default unbounded",
+    )
+    opt.add_argument(
         "--jobs", type=int, default=1, help="shard large --grid axes over N workers"
+    )
+    opt.add_argument(
+        "--server",
+        default=None,
+        help="route through a running `repro serve` daemon (URL)",
     )
     opt.set_defaults(func=_cmd_optimize)
 
@@ -318,6 +542,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plan.add_argument(
         "--cache-dir", type=Path, default=None, help="sweep-cache directory"
+    )
+    plan.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="LRU bound per cache tier (MiB); default unbounded",
+    )
+    plan.add_argument(
+        "--server",
+        default=None,
+        help="route through a running `repro serve` daemon (URL)",
     )
     plan.set_defaults(func=_cmd_plan)
 
@@ -334,7 +569,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable the disk-backed sweep cache under this directory",
     )
+    exp.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="LRU bound per cache tier (MiB); default unbounded",
+    )
+    exp.add_argument(
+        "--server",
+        default=None,
+        help="route sweeps through a running `repro serve` daemon (URL)",
+    )
     exp.set_defaults(func=_cmd_experiments)
+
+    serve = sub.add_parser(
+        "serve", help="long-running sweep server (JSON over HTTP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8733, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--cache-dir", type=Path, default=None, help="shared .npz store directory"
+    )
+    serve.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="LRU bound per cache tier (MiB); default unbounded",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for large batched axes"
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="seconds a cold request waits to micro-batch compatible traffic",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

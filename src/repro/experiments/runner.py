@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,7 +34,7 @@ import repro.experiments.scaled  # noqa: F401
 import repro.experiments.simulation  # noqa: F401
 import repro.experiments.solver_exp  # noqa: F401
 import repro.experiments.table1  # noqa: F401
-from repro.errors import InvalidParameterError
+from repro.errors import ExperimentError, InvalidParameterError
 from repro.experiments.registry import all_experiments, get_experiment
 from repro.report.csvio import default_results_dir
 from repro.report.tables import format_table
@@ -71,36 +72,53 @@ def _select_ids(ids: list[str] | None) -> list[str]:
     return selected
 
 
-def _run_one(exp_id: str, output_dir: str, cache_dir: str | None = None) -> ExperimentRun:
+def _run_one(
+    exp_id: str,
+    output_dir: str,
+    cache_dir: str | None = None,
+    server: str | None = None,
+    max_cache_bytes: int | None = None,
+) -> ExperimentRun:
     """Worker body: run one experiment and write its artifacts.
 
     Module-level so a process pool can pickle it; re-importing this
     module in a worker repopulates the registry.  With ``cache_dir``
-    the run gets a disk-backed default sweep cache — warm entries left
-    by earlier runs (or earlier invocations) are served from the store,
-    and the run's hit/miss counters come back in the result.
+    the run gets a disk-backed default sweep cache; with ``server`` the
+    slow tier is a running ``repro serve`` daemon instead, so every
+    worker shares one deduplicated store.  Either way the run's
+    hit/miss counters are tracked *in this process* and come back in
+    the result — a hit served by the daemon or the shared directory
+    still counts here, so report totals match single-process runs.
     """
     from repro.batch.cache import (
+        SweepCache,
         configure_default_cache,
         default_cache,
         set_default_cache,
     )
 
     stats = None
-    if cache_dir is not None:
+    cache: SweepCache | None = None
+    if server is not None:
+        from repro.service import RemoteSweepCache
+
         previous = default_cache()
-        cache = configure_default_cache(Path(cache_dir))
+        cache = RemoteSweepCache(server, max_bytes=max_cache_bytes)
+        set_default_cache(cache)
+    elif cache_dir is not None:
+        previous = default_cache()
+        cache = configure_default_cache(Path(cache_dir), max_bytes=max_cache_bytes)
     start = time.perf_counter()
     try:
         result = get_experiment(exp_id)()
         paths = tuple(result.write_csvs(Path(output_dir)))
-        if cache_dir is not None:
+        if cache is not None:
             stats = cache.stats.snapshot()
     finally:
         # Restore whatever default the caller had (jobs=1 runs in the
         # caller's process, so clobbering it would silently disable
         # their own caching after the run).
-        if cache_dir is not None:
+        if cache is not None:
             set_default_cache(previous)
     return ExperimentRun(
         experiment_id=exp_id,
@@ -111,11 +129,38 @@ def _run_one(exp_id: str, output_dir: str, cache_dir: str | None = None) -> Expe
     )
 
 
+def _run_one_pooled(
+    exp_id: str,
+    output_dir: str,
+    cache_dir: str | None,
+    server: str | None,
+    max_cache_bytes: int | None,
+) -> ExperimentRun:
+    """Pool wrapper: convert a worker crash into a picklable error.
+
+    A raw exception crossing the process boundary keeps only what
+    pickles — often just a bare repr, sometimes nothing at all when the
+    exception type itself fails to round-trip — and the traceback never
+    survives.  Capturing ``format_exc`` *in the worker* and re-raising
+    an :class:`ExperimentError` carrying the experiment id plus the full
+    traceback text makes the parent's failure report actionable.
+    """
+    try:
+        return _run_one(exp_id, output_dir, cache_dir, server, max_cache_bytes)
+    except Exception:
+        raise ExperimentError(
+            f"experiment {exp_id} failed in a worker process\n"
+            f"{traceback.format_exc()}"
+        ) from None
+
+
 def run_experiments(
     output_dir: Path | None = None,
     ids: list[str] | None = None,
     jobs: int = 1,
     cache_dir: Path | None = None,
+    server: str | None = None,
+    max_cache_mb: float | None = None,
 ) -> list[ExperimentRun]:
     """Run the selected (default: all) experiments; returns their outcomes.
 
@@ -125,21 +170,33 @@ def run_experiments(
     output directory (and parents) is created up front so a bad
     ``--output`` cannot fail mid-run after some experiments completed.
     ``cache_dir`` enables the disk-backed sweep cache for every run
-    (workers share it through the filesystem).
+    (workers share it through the filesystem); ``server`` routes every
+    run's sweeps through a running ``repro serve`` daemon instead, and
+    ``max_cache_mb`` bounds the per-process memory tier either way.  A
+    worker failure surfaces as :class:`ExperimentError` naming the
+    experiment and carrying the worker's full traceback text.
     """
     if jobs < 1:
         raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    from repro.batch.cache import max_cache_bytes as _to_bytes
+
     output_dir = output_dir or default_results_dir()
     output_dir.mkdir(parents=True, exist_ok=True)
     cache = None if cache_dir is None else str(cache_dir)
+    max_cache_bytes = _to_bytes(max_cache_mb)
     selected = _select_ids(ids)
     if not selected:
         return []
     if jobs == 1 or len(selected) == 1:
-        return [_run_one(exp_id, str(output_dir), cache) for exp_id in selected]
+        return [
+            _run_one(exp_id, str(output_dir), cache, server, max_cache_bytes)
+            for exp_id in selected
+        ]
     with ProcessPoolExecutor(max_workers=min(jobs, len(selected))) as pool:
         futures = [
-            pool.submit(_run_one, exp_id, str(output_dir), cache)
+            pool.submit(
+                _run_one_pooled, exp_id, str(output_dir), cache, server, max_cache_bytes
+            )
             for exp_id in selected
         ]
         return [f.result() for f in futures]
@@ -174,23 +231,23 @@ def _cache_table(runs: list[ExperimentRun]) -> str | None:
     A run whose requests were all served from the store is labelled
     ``warm``; any recomputation marks it ``cold``.
     """
+    from repro.batch.cache import CacheStats
+
     reported = [r for r in runs if r.cache_stats is not None]
     if not reported:
         return None
     rows = []
-    total_hits = total_misses = 0
+    total = CacheStats()
     for r in reported:
-        s = r.cache_stats
-        hits = s["memory_hits"] + s["disk_hits"]
-        misses = s["misses"]
-        total_hits += hits
-        total_misses += misses
+        run_stats = CacheStats().merge(r.cache_stats)
+        total.merge(run_stats)
+        hits, misses = run_stats.hits, run_stats.misses
         state = "-" if hits + misses == 0 else ("warm" if misses == 0 else "cold")
         rows.append((r.experiment_id, hits, misses, state))
     state = (
-        "warm" if total_hits and not total_misses else "cold"
-    ) if total_hits + total_misses else "-"
-    rows.append(("total", total_hits, total_misses, state))
+        "warm" if total.hits and not total.misses else "cold"
+    ) if total.requests else "-"
+    rows.append(("total", total.hits, total.misses, state))
     return format_table(
         ["experiment", "cache hits", "cache misses", "state"],
         rows,
@@ -203,6 +260,8 @@ def run_and_report(
     ids: list[str] | None = None,
     jobs: int = 1,
     cache_dir: Path | None = None,
+    server: str | None = None,
+    max_cache_mb: float | None = None,
 ) -> int:
     """Run experiments and print reports plus the wall-time summary.
 
@@ -210,7 +269,14 @@ def run_and_report(
     ``python -m repro.experiments.runner``.
     """
     start = time.perf_counter()
-    runs = run_experiments(output_dir, ids, jobs=jobs, cache_dir=cache_dir)
+    runs = run_experiments(
+        output_dir,
+        ids,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        server=server,
+        max_cache_mb=max_cache_mb,
+    )
     elapsed = time.perf_counter() - start
     for run in runs:
         print(run.report)
@@ -238,6 +304,17 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="enable the disk-backed sweep cache under this directory",
     )
+    parser.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="LRU bound per cache tier (MiB); default unbounded",
+    )
+    parser.add_argument(
+        "--server",
+        default=None,
+        help="route sweeps through a running `repro serve` daemon (URL)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -245,7 +322,12 @@ def main(argv: list[str] | None = None) -> int:
             print(exp_id)
         return 0
     return run_and_report(
-        args.output, args.ids or None, jobs=args.jobs, cache_dir=args.cache_dir
+        args.output,
+        args.ids or None,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        server=args.server,
+        max_cache_mb=args.max_cache_mb,
     )
 
 

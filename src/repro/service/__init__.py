@@ -1,0 +1,50 @@
+"""repro.service — a long-running sweep server and its clients.
+
+The paper's deliverable is a *function*: ``(problem size, machine,
+stencil) → optimal allocation and speedup``.  This package serves that
+function over JSON-over-HTTP with nothing beyond the standard library:
+
+* :class:`SweepServer` (``repro serve``) — a threaded daemon holding
+  one shared, size-bounded :class:`repro.batch.SweepCache`.  Identical
+  concurrent requests coalesce on their cache fingerprint (one compute,
+  many answers), and *compatible* allocation requests — same machine,
+  stencil, partition kind, and tolerances, different grid axes — are
+  micro-batched onto a single vectorized analysis call whose
+  per-request slices are bit-identical to computing each alone.
+* :class:`ServiceClient` — typed requests (allocation curves, capacity
+  plans, raw sweeps) with exact ``float`` round-tripping, so a curve
+  fetched from the daemon equals the offline computation byte for byte.
+* :class:`RemoteSweepCache` — a :class:`~repro.batch.SweepCache` whose
+  slow tier is the daemon instead of a local directory; the experiment
+  runner's ``--server`` routes every worker's sweeps through one warm,
+  deduplicated store and still reports true hit/miss totals.
+
+Usage::
+
+    # one terminal (or a background thread in tests):
+    #   python -m repro serve --port 8733 --cache-dir results/cache \
+    #       --max-cache-mb 64
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8733")
+    curve = client.allocation_curve(
+        "paper-bus", "5-point", "square", range(64, 4096, 64), integer=True
+    )
+
+The server answers from the shared cache whenever it can; the
+response's ``served`` field says how (``memory``/``disk``/``coalesced``
+/``batched``/``computed``).
+"""
+
+from repro.service.client import RemoteSweepCache, ServiceClient, ServiceError
+from repro.service.schema import decode_arrays, encode_arrays
+from repro.service.server import SweepServer
+
+__all__ = [
+    "RemoteSweepCache",
+    "ServiceClient",
+    "ServiceError",
+    "SweepServer",
+    "decode_arrays",
+    "encode_arrays",
+]

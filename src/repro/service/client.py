@@ -1,0 +1,194 @@
+"""Clients for the sweep server: typed requests and the remote cache tier.
+
+:class:`ServiceClient` wraps the daemon's HTTP surface with exact array
+round-tripping; :class:`RemoteSweepCache` plugs the daemon in as a
+:class:`~repro.batch.SweepCache` slow tier, which is how the experiment
+runner's ``--server`` routes every worker's sweeps through one shared,
+deduplicated store while still counting its own hits and misses (the
+counts a report can aggregate — a daemon-side hit is invisible to a
+worker's local stats otherwise).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.batch.cache import SweepCache
+from repro.core.parameters import DEFAULT_T_FLOP
+from repro.errors import ReproError
+from repro.service.schema import (
+    allocation_payload,
+    decode_arrays,
+    plan_payload,
+    sweep_payload,
+)
+
+__all__ = ["ServiceClient", "RemoteSweepCache", "ServiceError"]
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The sweep server rejected a request or could not be reached."""
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for a running :class:`~repro.service.SweepServer`."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: How the server answered the most recent compute call —
+        #: ``memory``/``disk``/``coalesced``/``batched``/``computed``.
+        self.last_served: str | None = None
+
+    # ------------------------------------------------------------- transport
+
+    def _request(
+        self,
+        path: str,
+        data: bytes | None = None,
+        method: str = "GET",
+        content_type: str | None = None,
+    ) -> tuple[int, bytes]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method
+        )
+        if content_type is not None:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"sweep server unreachable at {self.base_url}: {exc.reason}"
+            ) from None
+
+    def _json(
+        self, path: str, payload: Mapping[str, Any] | None = None, method: str = "GET"
+    ) -> dict[str, Any]:
+        data = None if payload is None else json.dumps(payload).encode()
+        status, body = self._request(
+            path, data, method=method, content_type="application/json"
+        )
+        try:
+            decoded = json.loads(body)
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"sweep server returned non-JSON ({status}) for {path}"
+            ) from None
+        if status != 200 or decoded.get("status") != "ok":
+            raise ServiceError(
+                decoded.get("error", f"sweep server error {status} for {path}")
+            )
+        return decoded
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> dict[str, Any]:
+        return self._json("/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._json("/v1/stats")
+
+    def compute(self, payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
+        """POST one request; returns the named arrays, bit-exact."""
+        response = self._json("/v1/compute", payload, method="POST")
+        self.last_served = response.get("served")
+        return decode_arrays(response["arrays"])
+
+    def allocation_curve(
+        self,
+        machine: str,
+        stencil: str,
+        kind: str,
+        grid_sides: Any,
+        t_flop: float = DEFAULT_T_FLOP,
+        max_processors: float | None = None,
+        integer: bool = False,
+    ):
+        """The daemon-served :class:`repro.batch.AllocationCurve`."""
+        from repro.batch.analysis import AllocationCurve
+        from repro.stencils.perimeter import PartitionKind
+
+        arrays = self.compute(
+            allocation_payload(
+                machine, stencil, kind, grid_sides, t_flop, max_processors, integer
+            )
+        )
+        return AllocationCurve.from_arrays(arrays, PartitionKind(kind))
+
+    def plan(self, machine: str, n: int, grid: Any | None = None) -> dict[str, np.ndarray]:
+        return self.compute(plan_payload(machine, n, grid))
+
+    def sweep(
+        self,
+        grid_sides: Any,
+        processors: Any,
+        machines: Any,
+        stencil: str = "5-point",
+        kind: str = "square",
+        t_flop: float = DEFAULT_T_FLOP,
+    ) -> dict[str, np.ndarray]:
+        """Cycle-time surfaces by machine name (one array per machine)."""
+        return self.compute(
+            sweep_payload(grid_sides, processors, machines, stencil, kind, t_flop)
+        )
+
+    # ------------------------------------------------------- shared store API
+
+    def cache_get(self, key: str) -> dict[str, np.ndarray] | None:
+        status, body = self._request(f"/v1/cache/{key}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(f"cache fetch failed ({status}) for {key}")
+        try:
+            with np.load(io.BytesIO(body), allow_pickle=False) as npz:
+                return {name: npz[name] for name in npz.files}
+        except Exception:
+            # A torn response is a miss, same as a corrupt local file.
+            return None
+
+    def cache_put(self, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        buffer = io.BytesIO()
+        np.savez(buffer, **dict(arrays))
+        status, body = self._request(
+            f"/v1/cache/{key}",
+            buffer.getvalue(),
+            method="PUT",
+            content_type="application/octet-stream",
+        )
+        if status != 200:
+            raise ServiceError(f"cache store failed ({status}) for {key}")
+
+
+class RemoteSweepCache(SweepCache):
+    """A :class:`SweepCache` whose slow tier is a running sweep server.
+
+    Lookups try local memory first, then ``GET /v1/cache/<key>`` —
+    remote answers count as ``disk_hits`` (the shared-store tier) in
+    this cache's *own* :class:`~repro.batch.cache.CacheStats`, so a
+    worker process routed through the daemon still reports true totals
+    instead of undercounting hits that happened server-side.  Stores
+    land in local memory and are pushed to the daemon, where every
+    other worker (and the daemon's compute path itself) can hit them.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = 120.0, max_bytes: int | None = None
+    ) -> None:
+        super().__init__(cache_dir=None, max_bytes=max_bytes)
+        self.client = ServiceClient(base_url, timeout=timeout)
+
+    def _disk_fetch(self, key: str) -> dict[str, np.ndarray] | None:
+        return self.client.cache_get(key)
+
+    def _disk_put(self, key: str, value: Mapping[str, np.ndarray]) -> None:
+        self.client.cache_put(key, value)

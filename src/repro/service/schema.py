@@ -1,0 +1,212 @@
+"""Wire format for the sweep service: JSON requests, exact array payloads.
+
+Requests are flat JSON objects with a ``kind`` discriminator; results
+are named ``np.ndarray`` mappings — the same shape the analysis layer's
+curve objects serialize to, and the same values the content-addressed
+cache stores.  Arrays travel as raw little-endian bytes (base64) plus
+dtype and shape, so every float crosses the wire bit for bit: the
+service's byte-identical-to-offline contract rests on this encoding,
+not on decimal formatting.
+
+Machines and stencils are referenced *by catalog name*.  The server
+resolves them against the same :data:`repro.machines.catalog.DEFAULT_MACHINES`
+and stencil library the CLI uses, so a request names exactly what the
+offline command line can name — nothing arbitrary is unpickled from
+the network.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.parameters import DEFAULT_T_FLOP
+from repro.errors import InvalidParameterError
+from repro.machines.catalog import DEFAULT_MACHINES
+from repro.stencils.library import by_name as stencil_by_name
+from repro.stencils.perimeter import PartitionKind
+
+__all__ = [
+    "encode_arrays",
+    "decode_arrays",
+    "allocation_payload",
+    "plan_payload",
+    "sweep_payload",
+    "parse_allocation",
+    "parse_plan",
+    "parse_sweep",
+]
+
+
+# --------------------------------------------------------------------------
+# Exact ndarray <-> JSON
+# --------------------------------------------------------------------------
+
+
+def encode_arrays(arrays: Mapping[str, np.ndarray]) -> dict[str, Any]:
+    """Named arrays as JSON-safe dicts with bit-exact contents."""
+    out: dict[str, Any] = {}
+    for name, array in arrays.items():
+        data = np.ascontiguousarray(array)
+        out[name] = {
+            "dtype": data.dtype.str,
+            "shape": list(data.shape),
+            "data": base64.b64encode(data.tobytes()).decode("ascii"),
+        }
+    return out
+
+
+def decode_arrays(payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
+    """Inverse of :func:`encode_arrays`; arrays come back writable copies."""
+    out: dict[str, np.ndarray] = {}
+    for name, spec in payload.items():
+        raw = base64.b64decode(spec["data"])
+        array = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+        out[name] = array.reshape(tuple(spec["shape"])).copy()
+    return out
+
+
+# --------------------------------------------------------------------------
+# Request construction (client side)
+# --------------------------------------------------------------------------
+
+
+def allocation_payload(
+    machine: str,
+    stencil: str,
+    kind: str,
+    grid_sides: Any,
+    t_flop: float = DEFAULT_T_FLOP,
+    max_processors: float | None = None,
+    integer: bool = False,
+) -> dict[str, Any]:
+    return {
+        "kind": "allocation_curve",
+        "machine": machine,
+        "stencil": stencil,
+        "partition": kind,
+        "grid_sides": [int(n) for n in grid_sides],
+        "t_flop": float(t_flop),
+        "max_processors": None if max_processors is None else float(max_processors),
+        "integer": bool(integer),
+    }
+
+
+def plan_payload(machine: str, n: int, grid: Any | None = None) -> dict[str, Any]:
+    return {
+        "kind": "plan",
+        "machine": machine,
+        "n": int(n),
+        "grid": None if grid is None else [int(p) for p in grid],
+    }
+
+
+def sweep_payload(
+    grid_sides: Any,
+    processors: Any,
+    machines: Any,
+    stencil: str = "5-point",
+    kind: str = "square",
+    t_flop: float = DEFAULT_T_FLOP,
+) -> dict[str, Any]:
+    return {
+        "kind": "sweep",
+        "grid_sides": [int(n) for n in grid_sides],
+        "processors": [float(p) for p in processors],
+        "machines": list(machines),
+        "stencil": stencil,
+        "partition": kind,
+        "t_flop": float(t_flop),
+    }
+
+
+# --------------------------------------------------------------------------
+# Request validation (server side)
+# --------------------------------------------------------------------------
+
+
+def _machine(name: Any):
+    try:
+        return DEFAULT_MACHINES[name]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(DEFAULT_MACHINES))
+        raise InvalidParameterError(
+            f"unknown machine {name!r}; known machines: {known}"
+        ) from None
+
+
+def _stencil(name: Any):
+    try:
+        return stencil_by_name(name)
+    except Exception:
+        raise InvalidParameterError(f"unknown stencil {name!r}") from None
+
+
+def _partition(value: Any) -> PartitionKind:
+    try:
+        return PartitionKind(value)
+    except ValueError:
+        raise InvalidParameterError(
+            f"unknown partition kind {value!r}; expected 'strip' or 'square'"
+        ) from None
+
+
+def _axis(values: Any, label: str) -> list[int]:
+    # Every service axis (grid sides, processor counts) requires >= 1,
+    # matching the public analysis entry points — the compute handlers
+    # call internal kernels, so bad axes must die here, as a 400, not
+    # be served as garbage.
+    if not isinstance(values, (list, tuple)) or not values:
+        raise InvalidParameterError(f"{label} must be a non-empty list")
+    try:
+        axis = [int(v) for v in values]
+    except (TypeError, ValueError):
+        raise InvalidParameterError(f"{label} must hold integers") from None
+    if any(v < 1 for v in axis):
+        raise InvalidParameterError(f"{label} values must be >= 1")
+    return axis
+
+
+def parse_allocation(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Validated arguments for an allocation-curve request."""
+    max_processors = payload.get("max_processors")
+    return {
+        "machine": _machine(payload.get("machine")),
+        "stencil": _stencil(payload.get("stencil")),
+        "kind": _partition(payload.get("partition")),
+        "grid_sides": _axis(payload.get("grid_sides"), "grid_sides"),
+        "t_flop": float(payload.get("t_flop", DEFAULT_T_FLOP)),
+        "max_processors": None if max_processors is None else float(max_processors),
+        "integer": bool(payload.get("integer", False)),
+    }
+
+
+def parse_plan(payload: Mapping[str, Any]) -> dict[str, Any]:
+    grid = payload.get("grid")
+    n = int(payload.get("n", 0))
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    return {
+        "machine": _machine(payload.get("machine")),
+        "machine_name": payload.get("machine"),
+        "n": n,
+        "grid": None if grid is None else _axis(grid, "grid"),
+    }
+
+
+def parse_sweep(payload: Mapping[str, Any]) -> dict[str, Any]:
+    machines = payload.get("machines")
+    if not isinstance(machines, (list, tuple)) or not machines:
+        raise InvalidParameterError("machines must be a non-empty list of names")
+    for name in machines:
+        _machine(name)
+    return {
+        "grid_sides": _axis(payload.get("grid_sides"), "grid_sides"),
+        "processors": [float(p) for p in payload.get("processors") or []],
+        "machines": list(machines),
+        "stencil": _stencil(payload.get("stencil", "5-point")),
+        "kind": _partition(payload.get("partition", "square")),
+        "t_flop": float(payload.get("t_flop", DEFAULT_T_FLOP)),
+    }

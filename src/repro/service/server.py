@@ -1,0 +1,547 @@
+"""The sweep server: a threaded daemon over one shared, bounded cache.
+
+Request lifecycle for ``POST /v1/compute``:
+
+1. The request canonicalizes to the *same* cache fingerprint the
+   offline analysis layer uses, so a store warmed by CLI runs serves
+   the daemon and vice versa (and bus presets sharing a closed form
+   share entries — see :mod:`repro.batch.cache`).
+2. A fingerprint hit answers straight from the shared
+   :class:`~repro.batch.SweepCache` (``served: memory|disk``).
+3. A miss consults the in-flight table: an identical request already
+   computing means *wait, don't recompute* (``served: coalesced``).
+4. Allocation-curve misses then enter the micro-batcher: requests that
+   agree on everything but their grid axis and land within one batching
+   window are merged onto a single vectorized analysis call over the
+   union axis; each requester gets its own slice, stored under its own
+   fingerprint (``served: batched`` for riders, ``computed`` for the
+   one thread that did the work).  Slices are bit-identical to
+   computing each request alone — every allocation-curve operation is
+   elementwise in ``n``.
+
+Endpoints::
+
+    GET  /healthz             liveness
+    GET  /v1/stats            cache + coalescing counters
+    GET  /v1/cache/<key>      raw .npz bytes of one entry (shared-store tier)
+    PUT  /v1/cache/<key>      insert one entry (npz body)
+    POST /v1/compute          allocation_curve | plan | sweep requests
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.batch.analysis import _allocation_request, _compute_allocation_curve
+from repro.batch.cache import SweepCache, fingerprint, max_cache_bytes
+from repro.batch.engine import SweepSpec, run_sweep
+from repro.batch.shard import sharded_allocation_arrays
+from repro.errors import InvalidParameterError, ReproError
+from repro.service.schema import (
+    encode_arrays,
+    parse_allocation,
+    parse_plan,
+    parse_sweep,
+)
+
+__all__ = ["SweepServer", "DEFAULT_PORT"]
+
+DEFAULT_PORT = 8733
+
+#: Fingerprints are SHA-256 hex digests; anything else never names a
+#: cache entry and must not reach the filesystem layer.
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Union axes at least this long are worth sharding over the server's
+#: worker pool (mirrors repro.batch.shard.MIN_CHUNK economics).
+_SHARD_THRESHOLD = 256
+
+
+class _Flight:
+    """One in-flight computation: late twins wait on it instead of working."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: dict[str, np.ndarray] | None = None
+        self.error: str | None = None
+
+
+class SweepServer:
+    """``repro serve``: plan/optimize/sweep answers over a shared cache.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (tests, the
+        benchmark harness).
+    cache_dir, max_cache_mb:
+        The shared store: optional ``.npz`` directory and the per-tier
+        LRU bound (MiB) — both forwarded to :class:`SweepCache`.
+    jobs:
+        Worker processes for sharding large micro-batched axes; 1 keeps
+        every compute in the serving thread.
+    batch_window_s:
+        How long the first cold allocation request of a compatible
+        group waits for co-batchable traffic before computing.  Zero
+        disables micro-batching (coalescing still applies).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache_dir: str | None = None,
+        max_cache_mb: float | None = None,
+        jobs: int = 1,
+        batch_window_s: float = 0.005,
+        compute_timeout_s: float = 600.0,
+    ) -> None:
+        self.cache = SweepCache(cache_dir, max_bytes=max_cache_bytes(max_cache_mb))
+        self.jobs = max(1, int(jobs))
+        self.batch_window_s = float(batch_window_s)
+        self.compute_timeout_s = float(compute_timeout_s)
+        self.started = time.time()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._buckets: dict[tuple, list] = {}
+        self._batch_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "hits": 0,  # /v1/compute answered straight from the cache
+            "computed": 0,
+            "coalesced": 0,
+            "batched": 0,
+        }
+        self._counters_lock = threading.Lock()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ---------------------------------------------------------------- address
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ---------------------------------------------------------------- running
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "SweepServer":
+        """Serve on a daemon thread (tests, benches, the quickstart)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self) -> None:
+        """Release the listening socket (after ``serve_forever`` returns)."""
+        self._httpd.server_close()
+
+    def __enter__(self) -> "SweepServer":
+        return self.start_background()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def _count(self, counter: str) -> None:
+        with self._counters_lock:
+            self._counters[counter] += 1
+
+    def stats_payload(self) -> dict[str, Any]:
+        with self._counters_lock:
+            counters = dict(self._counters)
+        # Only compute-path outcomes feed the ratio: shared-store GET/PUT
+        # traffic (runner workers) also moves the cache's own hit
+        # counters, which would make a hits/requests quotient meaningless.
+        dedup = counters["hits"] + counters["coalesced"] + counters["batched"]
+        return {
+            "uptime_s": time.time() - self.started,
+            "cache": self.cache.stats.snapshot(),
+            "entries": len(self.cache),
+            "max_bytes": self.cache.max_bytes,
+            "cache_dir": None if self.cache.cache_dir is None else str(self.cache.cache_dir),
+            "counters": counters,
+            "dedup_ratio": (dedup / counters["requests"]) if counters["requests"] else 0.0,
+        }
+
+    # -------------------------------------------------------------- computing
+
+    def handle_compute(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Dispatch one ``/v1/compute`` request; returns the response body."""
+        kind = payload.get("kind")
+        self._count("requests")
+        if kind == "allocation_curve":
+            args = parse_allocation(payload)
+            request = _allocation_request(
+                args["machine"],
+                args["stencil"],
+                args["kind"],
+                np.asarray(args["grid_sides"], dtype=float),
+                args["t_flop"],
+                args["max_processors"],
+                args["integer"],
+            )
+            arrays, served = self._serve(
+                fingerprint(request),
+                compute=None,
+                batch=lambda key, flight: self._allocation_batch(key, args, flight),
+            )
+        elif kind == "plan":
+            args = parse_plan(payload)
+            arrays, served = self._serve_plan(args)
+        elif kind == "sweep":
+            args = parse_sweep(payload)
+            spec = SweepSpec.across_catalog(
+                args["grid_sides"],
+                args["processors"],
+                machines=args["machines"],
+                stencil=args["stencil"],
+                kind=args["kind"],
+                t_flop=args["t_flop"],
+            )
+            arrays, served = self._serve(
+                fingerprint(("run_sweep", spec)),
+                compute=lambda: dict(run_sweep(spec).cycle_times),
+            )
+        else:
+            raise InvalidParameterError(
+                f"unknown request kind {kind!r}; expected allocation_curve, plan, or sweep"
+            )
+        return {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
+
+    def _serve(
+        self,
+        key: str,
+        compute: Callable[[], Mapping[str, np.ndarray]] | None,
+        batch: Callable[[str, _Flight], tuple[dict[str, np.ndarray], str]] | None = None,
+    ) -> tuple[dict[str, np.ndarray], str]:
+        """Cache → in-flight table → compute (or micro-batch) pipeline."""
+        arrays, level = self.cache.lookup_level(key)
+        if arrays is not None:
+            self._count("hits")
+            return arrays, level
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            owner = flight is None
+            if owner:
+                flight = _Flight()
+                self._flights[key] = flight
+        if not owner:
+            if not flight.event.wait(self.compute_timeout_s):
+                raise ReproError("timed out waiting for an in-flight twin request")
+            if flight.error is not None:
+                raise ReproError(flight.error)
+            self._count("coalesced")
+            assert flight.value is not None
+            return flight.value, "coalesced"
+        try:
+            if batch is not None:
+                value, served = batch(key, flight)
+            else:
+                assert compute is not None
+                value = self.cache.store(key, compute())
+                served = "computed"
+                self._count("computed")
+            flight.value = value
+            return value, served
+        except Exception as exc:
+            flight.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+    # The micro-batcher -----------------------------------------------------
+
+    def _allocation_batch(
+        self, key: str, args: Mapping[str, Any], flight: _Flight
+    ) -> tuple[dict[str, np.ndarray], str]:
+        """Merge compatible cold allocation requests onto one analysis call.
+
+        Compatibility = same machine fingerprint (closed-form
+        canonical), stencil, partition kind, flop time, processor cap,
+        and integer flag; only the grid axes differ.  The bucket leader
+        sleeps one batching window, gathers everyone who arrived, and
+        evaluates the union axis once; slicing is exact because the
+        allocation curve is elementwise in ``n``.
+        """
+        compat = (
+            fingerprint(args["machine"]),
+            args["stencil"].name,
+            args["kind"].value,
+            repr(args["t_flop"]),
+            None if args["max_processors"] is None else repr(args["max_processors"]),
+            args["integer"],
+        )
+        with self._batch_lock:
+            bucket = self._buckets.setdefault(compat, [])
+            leader = not bucket
+            bucket.append((key, args, flight))
+        if not leader:
+            if not flight.event.wait(self.compute_timeout_s):
+                raise ReproError("timed out waiting for the batch leader")
+            if flight.error is not None:
+                raise ReproError(flight.error)
+            self._count("batched")
+            assert flight.value is not None
+            return flight.value, "batched"
+        if self.batch_window_s > 0.0:
+            time.sleep(self.batch_window_s)
+        with self._batch_lock:
+            members = self._buckets.pop(compat)
+        union = sorted({int(n) for _, margs, _ in members for n in margs["grid_sides"]})
+        union_arr = np.asarray(union, dtype=float)
+        try:
+            if self.jobs > 1 and len(union) >= _SHARD_THRESHOLD:
+                arrays = sharded_allocation_arrays(
+                    args["machine"],
+                    args["stencil"],
+                    args["kind"],
+                    union,
+                    args["t_flop"],
+                    args["max_processors"],
+                    args["integer"],
+                    jobs=self.jobs,
+                )
+            else:
+                arrays = _compute_allocation_curve(
+                    args["machine"],
+                    args["stencil"],
+                    args["kind"],
+                    union_arr,
+                    args["t_flop"],
+                    args["max_processors"],
+                    args["integer"],
+                ).to_arrays()
+        except Exception as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            for mkey, _, mflight in members:
+                if mflight is not flight:
+                    mflight.error = message
+                    with self._flights_lock:
+                        self._flights.pop(mkey, None)
+                    mflight.event.set()
+            raise
+        self._count("computed")
+        value = None
+        for mkey, margs, mflight in members:
+            idx = np.searchsorted(
+                union_arr, np.asarray(margs["grid_sides"], dtype=float)
+            )
+            stored = self.cache.store(
+                mkey, {name: np.asarray(a)[idx] for name, a in arrays.items()}
+            )
+            if mflight is flight:
+                value = stored
+            else:
+                mflight.value = stored
+                with self._flights_lock:
+                    self._flights.pop(mkey, None)
+                mflight.event.set()
+        assert value is not None
+        return value, "computed"
+
+    # Capacity plans --------------------------------------------------------
+
+    def _serve_plan(
+        self, args: Mapping[str, Any]
+    ) -> tuple[dict[str, np.ndarray], str]:
+        """Everything ``repro plan`` prints, as one fingerprinted bundle.
+
+        The grid half reuses the offline CLI's ``("plan_grid", …)``
+        request so daemon and command line share store entries; the
+        whole bundle gets its own fingerprint for coalescing and warm
+        repeats.
+        """
+        from repro.batch.analysis import max_useful_processors_curve
+        from repro.batch.curves import minimal_grid_side_curve
+        from repro.machines.bus import BusArchitecture
+        from repro.stencils.library import ALL_STENCILS
+        from repro.stencils.perimeter import PartitionKind
+
+        machine = args["machine"]
+        if not isinstance(machine, BusArchitecture):
+            raise InvalidParameterError(
+                f"{args['machine_name']} is not a bus: allocation is extremal, "
+                "capacity-planning thresholds apply to buses"
+            )
+        n = args["n"]
+        grid = args["grid"]
+        request = (
+            "service_plan",
+            machine,
+            int(n),
+            None if grid is None else np.asarray(grid, dtype=float),
+        )
+
+        def compute() -> dict[str, np.ndarray]:
+            max_useful = np.array(
+                [
+                    [
+                        max_useful_processors_curve(
+                            machine, stencil, kind, [n], cache=self.cache
+                        )[0]
+                        for kind in (PartitionKind.STRIP, PartitionKind.SQUARE)
+                    ]
+                    for stencil in ALL_STENCILS
+                ]
+            )
+            out = {
+                "n": np.array([n], dtype=int),
+                "max_useful": max_useful,
+                "stencils": np.asarray([s.name for s in ALL_STENCILS]),
+            }
+            if grid is None:
+                defaults = np.array([8, 16, 32], dtype=int)
+                out["default_processors"] = defaults
+                out["default_sides"] = minimal_grid_side_curve(
+                    machine, 1, 5.0, 1e-6, defaults, PartitionKind.SQUARE
+                )
+            else:
+                grid_request = ("plan_grid", machine, np.asarray(grid, dtype=float))
+                curves = self.cache.get_or_compute(
+                    grid_request,
+                    lambda: {
+                        kind.value: minimal_grid_side_curve(
+                            machine, 1, 5.0, 1e-6, grid, kind
+                        )
+                        for kind in (PartitionKind.STRIP, PartitionKind.SQUARE)
+                    },
+                )
+                out["grid_processors"] = np.asarray(grid, dtype=int)
+                out["grid_strip"] = curves[PartitionKind.STRIP.value]
+                out["grid_square"] = curves[PartitionKind.SQUARE.value]
+            return out
+
+        arrays, served = self._serve(fingerprint(request), compute=compute)
+        return arrays, served
+
+
+# --------------------------------------------------------------------------
+# HTTP plumbing
+# --------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-sweepd/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> SweepServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:
+        pass  # the daemon is quiet; /v1/stats is the observability surface
+
+    # ------------------------------------------------------------- responses
+
+    def _send_json(self, payload: Mapping[str, Any], status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, message: str, status: int) -> None:
+        self._send_json({"status": "error", "error": message}, status)
+
+    def _send_bytes(self, body: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length)
+
+    def _cache_key(self) -> str | None:
+        key = self.path[len("/v1/cache/") :]
+        return key if _KEY_RE.fullmatch(key) else None
+
+    # --------------------------------------------------------------- methods
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            self._send_json({"status": "ok", "service": "repro-sweepd"})
+        elif self.path == "/v1/stats":
+            self._send_json({"status": "ok", **self.app.stats_payload()})
+        elif self.path.startswith("/v1/cache/"):
+            key = self._cache_key()
+            if key is None:
+                self._send_error_json("malformed cache key", 400)
+                return
+            arrays, _level = self.app.cache.lookup_level(key)
+            if arrays is None:
+                self._send_error_json("no such entry", 404)
+                return
+            buffer = io.BytesIO()
+            np.savez(buffer, **arrays)
+            self._send_bytes(buffer.getvalue())
+        else:
+            self._send_error_json(f"no route {self.path}", 404)
+
+    def do_PUT(self) -> None:
+        if not self.path.startswith("/v1/cache/"):
+            self._send_error_json(f"no route {self.path}", 404)
+            return
+        key = self._cache_key()
+        if key is None:
+            self._send_error_json("malformed cache key", 400)
+            return
+        try:
+            with np.load(io.BytesIO(self._read_body()), allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except Exception:
+            self._send_error_json("body is not a readable .npz archive", 400)
+            return
+        self.app.cache.store(key, arrays)
+        self._send_json({"status": "ok", "stored": key})
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/compute":
+            self._send_error_json(f"no route {self.path}", 404)
+            return
+        try:
+            payload = json.loads(self._read_body() or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send_error_json(f"bad JSON body: {exc}", 400)
+            return
+        try:
+            self._send_json(self.app.handle_compute(payload))
+        except InvalidParameterError as exc:
+            self._send_error_json(str(exc), 400)
+        except Exception as exc:  # compute failures are the server's 500s
+            self._send_error_json(f"{type(exc).__name__}: {exc}", 500)

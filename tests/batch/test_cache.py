@@ -1,9 +1,13 @@
 """The content-addressed sweep cache: keys, levels, stats, correctness."""
 
+import os
+import time
+
 import numpy as np
 import pytest
 
 from repro.batch import (
+    CacheStats,
     SweepCache,
     SweepSpec,
     cached_run_sweep,
@@ -14,6 +18,8 @@ from repro.batch import (
     optimal_allocation_curve,
     run_sweep,
 )
+from repro.errors import InvalidParameterError
+from repro.machines.bus import AsynchronousBus, SynchronousBus
 from repro.machines.catalog import PAPER_BUS, PAPER_BUS_ASYNC
 from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
 from repro.stencils.perimeter import PartitionKind
@@ -88,6 +94,8 @@ class TestSweepCacheLevels:
             "memory_hits": 1,
             "disk_hits": 0,
             "misses": 1,
+            "memory_evictions": 0,
+            "disk_evictions": 0,
         }
 
     def test_different_requests_do_not_collide(self, tmp_path):
@@ -149,6 +157,200 @@ class TestCachedSweep:
             cached_run_sweep(spec).cycle_time("ipsc"),
             run_sweep(spec).cycle_time("ipsc"),
         )
+
+
+def _entry(seed: float, words: int = 128) -> dict[str, np.ndarray]:
+    return {"x": np.full(words, seed)}
+
+
+class TestBoundedLRU:
+    def test_memory_evicts_least_recently_used(self):
+        one_kib = 128 * 8
+        cache = SweepCache(max_bytes=2 * one_kib)
+        cache.store("a" * 64, _entry(1.0))
+        cache.store("b" * 64, _entry(2.0))
+        assert cache.lookup("a" * 64) is not None  # refresh a; b is now LRU
+        cache.store("c" * 64, _entry(3.0))
+        assert cache.lookup("b" * 64) is None  # evicted
+        assert cache.lookup("a" * 64) is not None
+        assert cache.lookup("c" * 64) is not None
+        assert cache.stats.memory_evictions == 1
+
+    def test_oversized_entry_is_still_served(self):
+        cache = SweepCache(max_bytes=16)  # smaller than any entry
+        value = cache.store("a" * 64, _entry(1.0))
+        np.testing.assert_array_equal(value["x"], _entry(1.0)["x"])
+        assert cache.lookup("a" * 64) is not None
+
+    def test_disk_store_stays_under_bound(self, tmp_path):
+        bound = 4096
+        cache = SweepCache(tmp_path, max_bytes=bound)
+        for i in range(12):
+            cache.store(f"{i:064d}".replace("0", "a", 1), _entry(float(i)))
+        sizes = sum(p.stat().st_size for p in tmp_path.glob("*.npz"))
+        assert sizes <= bound
+        assert cache.stats.disk_evictions > 0
+        # The newest entry always survives.
+        survivors = {p.stem for p in tmp_path.glob("*.npz")}
+        assert f"{11:064d}".replace("0", "a", 1) in survivors
+
+    def test_disk_hit_refreshes_lru_age(self, tmp_path):
+        # Entries are 1280 bytes on disk; the bound fits three of them.
+        bound = 3 * 1280 + 100
+        cache = SweepCache(tmp_path, max_bytes=bound)
+        keys = ["a" * 64, "b" * 64, "c" * 64]
+        for i, key in enumerate(keys):
+            cache.store(key, _entry(float(i)))
+            os.utime(tmp_path / f"{key}.npz", (time.time() - 100 + i, time.time() - 100 + i))
+        fresh = SweepCache(tmp_path, max_bytes=bound)
+        assert fresh.lookup("a" * 64) is not None  # refreshes a's mtime
+        fresh.store("d" * 64, _entry(9.0))  # must evict the oldest: b
+        names = {p.stem for p in tmp_path.glob("*.npz")}
+        assert "a" * 64 in names and "b" * 64 not in names
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SweepCache(max_bytes=0)
+
+
+class TestOrphanedTempFiles:
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        stale = tmp_path / "tmpabc123.npz.tmp"
+        stale.write_bytes(b"crash debris")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        SweepCache(tmp_path)
+        assert not stale.exists()
+
+    def test_fresh_tmp_files_left_for_live_writers(self, tmp_path):
+        fresh = tmp_path / "tmpdef456.npz.tmp"
+        fresh.write_bytes(b"another process, mid-write")
+        SweepCache(tmp_path)
+        assert fresh.exists()
+
+    def test_junk_tmp_never_poisons_or_blocks_a_hit(self, tmp_path):
+        cold = SweepCache(tmp_path)
+        direct = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cold
+        )
+        junk = tmp_path / "tmpzzz.npz.tmpXYZ"
+        junk.write_bytes(b"\x00garbage")
+        warm = SweepCache(tmp_path)
+        served = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=warm
+        )
+        assert warm.stats.disk_hits == 1 and warm.stats.misses == 0
+        np.testing.assert_array_equal(served.speedup, direct.speedup)
+
+
+class TestCorruptedEntries:
+    def _poison(self, tmp_path) -> SweepCache:
+        """Warm the store, then corrupt every .npz on disk."""
+        cold = SweepCache(tmp_path)
+        optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cold
+        )
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(path.read_bytes()[: max(8, path.stat().st_size // 3)])
+        return cold
+
+    def test_truncated_entry_is_a_miss_then_rewritten(self, tmp_path):
+        self._poison(tmp_path)
+        cache = SweepCache(tmp_path)
+        served = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=cache
+        )
+        assert cache.stats.misses == 1 and cache.stats.disk_hits == 0
+        direct = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True
+        )
+        np.testing.assert_array_equal(served.speedup, direct.speedup)
+        # The recompute rewrote a readable entry: next fresh cache disk-hits.
+        fresh = SweepCache(tmp_path)
+        optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, cache=fresh
+        )
+        assert fresh.stats.disk_hits == 1 and fresh.stats.misses == 0
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        bad = tmp_path / ("e" * 64 + ".npz")
+        bad.write_bytes(b"not a zip archive at all")
+        assert cache.lookup("e" * 64) is None
+        assert cache.stats.misses == 1
+        assert not bad.exists()  # dropped so the recompute can rewrite
+
+
+class TestClosedFormDedup:
+    """Bus presets sharing a closed form collapse to one fingerprint."""
+
+    def test_sync_read_modes_share_fingerprint(self):
+        rw = SynchronousBus(b=PAPER_BUS.b, c=0.0, volume_mode="read_write")
+        ro = SynchronousBus(b=2 * PAPER_BUS.b, c=0.0, volume_mode="read_only")
+        assert fingerprint(("op", rw)) == fingerprint(("op", ro))
+
+    def test_async_volume_mode_is_immaterial(self):
+        rw = AsynchronousBus(b=PAPER_BUS.b, c=1e-7, volume_mode="read_write")
+        ro = AsynchronousBus(b=PAPER_BUS.b, c=1e-7, volume_mode="read_only")
+        assert fingerprint(rw) == fingerprint(ro)
+
+    def test_sync_and_async_never_collide(self):
+        sync = SynchronousBus(b=PAPER_BUS.b, c=0.0)
+        asyn = AsynchronousBus(b=PAPER_BUS.b, c=0.0)
+        assert fingerprint(sync) != fingerprint(asyn)
+
+    def test_different_effective_constants_never_collide(self):
+        a = SynchronousBus(b=PAPER_BUS.b, c=0.0)
+        b = SynchronousBus(b=1.5 * PAPER_BUS.b, c=0.0, volume_mode="read_only")
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_subclasses_keep_field_encoding(self):
+        from repro.machines.bus_extensions import FullyAsynchronousBus
+
+        ext = FullyAsynchronousBus(b=PAPER_BUS.b)
+        plain = AsynchronousBus(b=PAPER_BUS.b)
+        assert fingerprint(ext) != fingerprint(plain)
+
+    @pytest.mark.parametrize("kind", [PartitionKind.STRIP, SQUARE])
+    def test_cache_hit_across_presets_is_bit_identical(self, tmp_path, kind):
+        rw = SynchronousBus(b=PAPER_BUS.b, c=3 * PAPER_BUS.b, volume_mode="read_write")
+        ro = SynchronousBus(
+            b=2 * PAPER_BUS.b, c=6 * PAPER_BUS.b, volume_mode="read_only"
+        )
+        cache = SweepCache(tmp_path)
+        first = optimal_allocation_curve(
+            rw, FIVE_POINT, kind, SIDES, integer=True, cache=cache
+        )
+        second = optimal_allocation_curve(
+            ro, FIVE_POINT, kind, SIDES, integer=True, cache=cache
+        )
+        assert cache.stats.misses == 1 and cache.stats.memory_hits == 1
+        # Served result equals what the second preset would compute alone.
+        direct = optimal_allocation_curve(ro, FIVE_POINT, kind, SIDES, integer=True)
+        np.testing.assert_array_equal(second.speedup, direct.speedup)
+        np.testing.assert_array_equal(second.cycle_time, direct.cycle_time)
+        np.testing.assert_array_equal(first.cycle_time, direct.cycle_time)
+        assert second.regime == direct.regime
+
+
+class TestCacheStatsMerge:
+    def test_merge_adds_worker_counts(self):
+        mine = CacheStats(memory_hits=1, misses=2)
+        worker = CacheStats(memory_hits=3, disk_hits=4, misses=5, disk_evictions=6)
+        mine.merge(worker)
+        assert mine.memory_hits == 4
+        assert mine.disk_hits == 4
+        assert mine.misses == 7
+        assert mine.disk_evictions == 6
+
+    def test_merge_accepts_snapshots(self):
+        mine = CacheStats()
+        mine.merge({"memory_hits": 2, "misses": 1})
+        assert mine.hits == 2 and mine.misses == 1
+
+    def test_describe_mentions_evictions(self):
+        stats = CacheStats(memory_hits=1, memory_evictions=2)
+        assert "2 evictions" in stats.describe()
 
 
 class TestDefaultCache:

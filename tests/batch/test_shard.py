@@ -10,6 +10,7 @@ from repro.batch import (
     optimal_allocation_curve,
     run_sweep,
     run_sweep_sharded,
+    sharded_allocation_arrays,
     sharded_allocation_curve,
 )
 from repro.errors import InvalidParameterError
@@ -83,6 +84,53 @@ class TestShardedAllocation:
         )
         assert cache.stats.misses == 1
         assert cache.stats.memory_hits == 1
+
+
+class TestShardedAllocationArrays:
+    def test_raw_fanout_equals_curve_arrays(self):
+        arrays = sharded_allocation_arrays(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True, jobs=2
+        )
+        direct = optimal_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, integer=True
+        ).to_arrays()
+        assert set(arrays) == set(direct)
+        for name in direct:
+            np.testing.assert_array_equal(arrays[name], direct[name])
+
+    def test_raw_fanout_never_touches_the_cache(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        from repro.batch import configure_default_cache, clear_default_cache
+
+        configure_default_cache(tmp_path)
+        try:
+            sharded_allocation_arrays(PAPER_BUS, FIVE_POINT, SQUARE, SIDES, jobs=2)
+        finally:
+            clear_default_cache()
+        assert len(list(tmp_path.glob("*.npz"))) == 0
+        assert cache.stats.requests == 0
+
+
+class TestShardedCorruption:
+    def test_corrupt_disk_entry_recomputes_on_the_shard_path(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        first = sharded_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, jobs=2, cache=cache
+        )
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"torn write: not an archive")
+        fresh = SweepCache(tmp_path)
+        again = sharded_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, jobs=2, cache=fresh
+        )
+        assert fresh.stats.misses == 1 and fresh.stats.disk_hits == 0
+        np.testing.assert_array_equal(again.speedup, first.speedup)
+        # ... and the recompute rewrote a servable entry.
+        rewarmed = SweepCache(tmp_path)
+        sharded_allocation_curve(
+            PAPER_BUS, FIVE_POINT, SQUARE, SIDES, jobs=2, cache=rewarmed
+        )
+        assert rewarmed.stats.disk_hits == 1
 
 
 class TestShardedSweep:

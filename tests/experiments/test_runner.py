@@ -3,9 +3,25 @@
 import pytest
 
 from repro.errors import ExperimentError, InvalidParameterError
+from repro.experiments import registry
 from repro.experiments.runner import run_all, run_experiments
 
 FAST_IDS = ["E-KTAB", "E-TEXT1"]
+
+
+def _deliberately_failing_experiment():
+    raise ValueError("deliberate boom for the traceback test")
+
+
+@pytest.fixture()
+def failing_experiment():
+    """Register a crashing experiment; workers inherit it via fork."""
+    exp_id = "E-FAIL-TEST"
+    registry._REGISTRY[exp_id] = _deliberately_failing_experiment
+    try:
+        yield exp_id
+    finally:
+        registry._REGISTRY.pop(exp_id, None)
 
 
 class TestIdSelection:
@@ -63,6 +79,68 @@ class TestBackCompat:
         reports = run_all(tmp_path, ids=["E-KTAB"])
         assert len(reports) == 1
         assert reports[0].startswith("[E-KTAB]")
+
+
+class TestWorkerFailures:
+    def test_pool_failure_names_experiment_and_keeps_traceback(
+        self, tmp_path, failing_experiment
+    ):
+        with pytest.raises(ExperimentError) as excinfo:
+            run_experiments(
+                tmp_path, ids=["E-KTAB", failing_experiment], jobs=2
+            )
+        message = str(excinfo.value)
+        assert failing_experiment in message
+        assert "Traceback (most recent call last)" in message
+        assert "deliberate boom for the traceback test" in message
+        assert "_deliberately_failing_experiment" in message
+
+    def test_single_process_failure_propagates_unwrapped(
+        self, tmp_path, failing_experiment
+    ):
+        # jobs=1 runs in-process where the real traceback survives; the
+        # original exception type must not be masked.
+        with pytest.raises(ValueError, match="deliberate boom"):
+            run_experiments(tmp_path, ids=[failing_experiment], jobs=1)
+
+
+class TestRunnerServer:
+    @pytest.fixture()
+    def server(self):
+        from repro.service import SweepServer
+
+        with SweepServer(port=0) as srv:
+            yield srv
+
+    def test_server_reports_match_offline_and_totals_match_single_process(
+        self, tmp_path, server
+    ):
+        ids = ["E-TEXT2", "E-KTAB"]
+
+        def totals(runs):
+            reported = [r.cache_stats for r in runs if r.cache_stats is not None]
+            return (
+                sum(s["memory_hits"] + s["disk_hits"] for s in reported),
+                sum(s["misses"] for s in reported),
+            )
+
+        offline = run_experiments(
+            tmp_path / "a", ids=ids, jobs=1, cache_dir=tmp_path / "cache"
+        )
+        routed = run_experiments(tmp_path / "b", ids=ids, jobs=2, server=server.url)
+        assert [r.report for r in routed] == [r.report for r in offline]
+        # Cold pass: same misses either way.
+        assert totals(routed) == totals(offline)
+        # Warm pass: hits served by the daemon are counted by each
+        # worker's own stats, so --jobs does not undercount them.
+        offline_warm = run_experiments(
+            tmp_path / "a", ids=ids, jobs=1, cache_dir=tmp_path / "cache"
+        )
+        routed_warm = run_experiments(
+            tmp_path / "b", ids=ids, jobs=2, server=server.url
+        )
+        assert totals(routed_warm) == totals(offline_warm)
+        assert totals(routed_warm)[1] == 0  # fully warm: no misses
 
 
 class TestRunnerCache:

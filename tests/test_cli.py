@@ -238,3 +238,169 @@ class TestExperimentsOutput:
         )
         out = capsys.readouterr().out
         assert "warm" in out
+
+
+class TestServerRouting:
+    """`--server` responses are byte-identical to the offline CLI."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.service import SweepServer
+
+        with SweepServer(port=0) as srv:
+            yield srv
+
+    def _run(self, capsys, argv):
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["optimize", "--machine", "paper-bus", "--grid", "64:512:64"],
+            ["optimize", "--machine", "flex32", "--n", "256", "--max-processors", "16"],
+            ["optimize", "--machine", "paper-bus-async", "--n", "128", "--partition", "strip"],
+            ["plan", "--machine", "paper-bus", "--n", "256"],
+            ["plan", "--machine", "paper-bus", "--grid", "2:64:7"],
+            ["plan", "--machine", "ipsc", "--n", "256"],  # non-bus: local answer
+        ],
+    )
+    def test_byte_identical_to_offline(self, capsys, server, argv):
+        offline = self._run(capsys, argv)
+        routed = self._run(capsys, argv + ["--server", server.url])
+        assert routed == offline
+
+    def test_concurrent_requests_then_cli_output_agrees(self, capsys, server):
+        # Hammer the daemon with identical concurrent requests first
+        # (stdout redirection is process-global, so the byte comparison
+        # itself runs sequentially afterwards).
+        import threading
+
+        from repro.service import ServiceClient
+
+        argv = ["optimize", "--machine", "paper-bus", "--grid", "64:256:16"]
+        offline = self._run(capsys, argv)
+
+        def fire():
+            ServiceClient(server.url).allocation_curve(
+                "paper-bus", "5-point", "square", list(range(64, 257, 16)),
+                integer=True,
+            )
+
+        threads = [threading.Thread(target=fire) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        routed = self._run(capsys, argv + ["--server", server.url])
+        assert routed == offline
+
+    def test_server_with_cache_dir_rejected(self, tmp_path):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="mutually exclusive"):
+            main(
+                [
+                    "optimize",
+                    "--machine",
+                    "paper-bus",
+                    "--grid",
+                    "64:128:64",
+                    "--server",
+                    "http://127.0.0.1:1",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_server_with_max_cache_mb_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="no effect with --server"):
+            main(
+                [
+                    "plan",
+                    "--machine",
+                    "paper-bus",
+                    "--n",
+                    "64",
+                    "--server",
+                    "http://127.0.0.1:1",
+                    "--max-cache-mb",
+                    "4",
+                ]
+            )
+
+    def test_server_with_jobs_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="no effect with --server"):
+            main(
+                [
+                    "optimize",
+                    "--machine",
+                    "paper-bus",
+                    "--grid",
+                    "64:128:64",
+                    "--server",
+                    "http://127.0.0.1:1",
+                    "--jobs",
+                    "4",
+                ]
+            )
+
+    def test_max_cache_mb_bounds_the_local_store(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        for lo in ("64", "128", "256", "512"):
+            assert (
+                main(
+                    [
+                        "optimize",
+                        "--machine",
+                        "paper-bus",
+                        "--grid",
+                        f"{lo}:{int(lo) + 8}",
+                        "--cache-dir",
+                        str(cache_dir),
+                        "--max-cache-mb",
+                        "0.004",
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        total = sum(p.stat().st_size for p in cache_dir.glob("*.npz"))
+        assert total <= int(0.004 * 2**20)
+
+
+class TestServeSubcommand:
+    def test_serve_starts_answers_and_stops(self, tmp_path):
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        env = dict(os.environ)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "listening on http://" in banner
+            url = banner.strip().rsplit(" ", 1)[-1]
+            with urllib.request.urlopen(f"{url}/healthz", timeout=10) as response:
+                assert json.load(response)["status"] == "ok"
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise
+        assert process.returncode == 0
