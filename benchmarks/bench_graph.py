@@ -1,0 +1,179 @@
+"""BENCH-GRAPH: what the sweep-graph planner saves — fusion and dedup.
+
+Two measurements, recorded to ``results/BENCH_graph.json`` so the
+planner's wins are tracked across PRs:
+
+* **fusion** — a mixed batch of analysis requests (allocation curves,
+  max-useful thresholds, minimal-size curves, and sweeps, each family
+  spread over several axes) is planned as one graph.  The gate: the
+  plan makes strictly fewer vectorized evaluations than there are
+  requests — compatible siblings must share evaluations.  The wall
+  time of the fused plan versus one eager evaluation per request is
+  reported, not gated (the win scales with axis overlap).
+* **dedup** — a request forest with heavily overlapping subgraphs
+  (repeated ratio/allocation roots, as a fan-in dashboard or a batch
+  of near-identical clients would issue).  The gate: at least 90% of
+  the node instances across the forest are answered by an
+  already-planned node instead of becoming new work.
+
+Run as a script (CI's smoke bench) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_graph.py
+    pytest benchmarks/bench_graph.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch.engine import SweepSpec
+from repro.graph import nodes, plan
+from repro.graph.planner import evaluate
+from repro.machines.catalog import DEFAULT_MACHINES, PAPER_BUS
+from repro.report.csvio import default_results_dir
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
+from repro.stencils.perimeter import PartitionKind
+
+#: The acceptance bar: fraction of node instances across the request
+#: forest that dedup onto an already-planned node.
+MIN_DEDUP_RATE = 0.90
+
+SQUARE = PartitionKind.SQUARE
+
+
+def _mixed_requests() -> list:
+    """A realistic mixed batch: four families, several axes each."""
+    batch = []
+    for lo in (64, 96, 128, 256, 400, 512):
+        batch.append(
+            nodes.allocation_curve(
+                PAPER_BUS, FIVE_POINT, SQUARE, list(range(lo, lo + 400, 4))
+            )
+        )
+    for lo in (32, 64, 128):
+        batch.append(
+            nodes.max_useful_processors(
+                PAPER_BUS, FIVE_POINT, SQUARE, list(range(lo, lo + 500, 8))
+            )
+        )
+    for procs in ([2, 4, 8, 16], [8, 16, 32, 64], [4, 32, 128]):
+        batch.append(
+            nodes.minimal_problem_size(PAPER_BUS, NINE_POINT_BOX, SQUARE, procs)
+        )
+    for sides in ([64, 128, 256], [128, 256, 512], [64, 512, 1024]):
+        batch.append(
+            nodes.sweep(
+                SweepSpec(
+                    grid_sides=tuple(sides),
+                    processors=(1.0, 4.0, 16.0, 64.0),
+                    machines=(
+                        ("ipsc", DEFAULT_MACHINES["ipsc"]),
+                        ("paper-bus", DEFAULT_MACHINES["paper-bus"]),
+                    ),
+                )
+            )
+        )
+    return batch
+
+
+def bench_fusion() -> dict:
+    """Plan a mixed batch once; compare against one-request-at-a-time."""
+    batch = _mixed_requests()
+
+    start = time.perf_counter()
+    fused_plan = plan(batch)
+    fused_results = fused_plan.execute()
+    fused_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    solo_results = [evaluate([node])[0] for node in _mixed_requests()]
+    solo_s = time.perf_counter() - start
+
+    # The fused slices must equal the solo evaluations bit for bit.
+    for fused, solo in zip(fused_results, solo_results):
+        for name in solo:
+            np.testing.assert_array_equal(fused[name], solo[name])
+
+    return {
+        "requests": fused_plan.n_requests,
+        "evaluations": fused_plan.evaluations,
+        "siblings_fused": fused_plan.siblings_fused,
+        "fused_seconds": fused_s,
+        "solo_seconds": solo_s,
+        "speedup": solo_s / fused_s if fused_s else float("inf"),
+    }
+
+
+def bench_dedup() -> dict:
+    """A forest of overlapping subgraphs: most instances must dedup."""
+    sides = list(range(64, 1024, 16))
+    cube, net = DEFAULT_MACHINES["ipsc"], DEFAULT_MACHINES["butterfly"]
+    forest = []
+    for _ in range(20):
+        forest.append(nodes.speedup_ratio(cube, net, FIVE_POINT, SQUARE, sides))
+        forest.append(nodes.strip_square_ratio(PAPER_BUS, FIVE_POINT, sides))
+        forest.append(nodes.allocation_curve(cube, FIVE_POINT, SQUARE, sides))
+        forest.append(nodes.allocation_curve(PAPER_BUS, FIVE_POINT, SQUARE, sides))
+
+    start = time.perf_counter()
+    p = plan(forest)
+    p.execute()
+    elapsed = time.perf_counter() - start
+
+    instances = sum(planned.instances for planned in p.nodes)
+    deduped = p.subgraphs_deduped
+    return {
+        "requests": p.n_requests,
+        "node_instances": instances,
+        "unique_nodes": p.n_nodes,
+        "subgraphs_deduped": deduped,
+        "dedup_rate": deduped / instances if instances else 0.0,
+        "evaluations": p.evaluations,
+        "elapsed_seconds": elapsed,
+    }
+
+
+def run_bench(output_path: Path | None = None) -> dict:
+    payload = {
+        "bench": "graph",
+        "fusion": bench_fusion(),
+        "dedup": bench_dedup(),
+        "min_dedup_rate": MIN_DEDUP_RATE,
+    }
+    path = output_path or (default_results_dir() / "BENCH_graph.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    payload["path"] = str(path)
+    return payload
+
+
+def test_bench_graph(results_dir):
+    payload = run_bench(results_dir / "BENCH_graph.json")
+    print()
+    print(json.dumps(payload, indent=2))
+    fusion = payload["fusion"]
+    assert fusion["evaluations"] < fusion["requests"], fusion
+    assert fusion["siblings_fused"] > 0, fusion
+    dedup = payload["dedup"]
+    assert dedup["dedup_rate"] >= MIN_DEDUP_RATE, dedup
+
+
+if __name__ == "__main__":
+    report = run_bench()
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    fusion, dedup = report["fusion"], report["dedup"]
+    fusion_ok = fusion["evaluations"] < fusion["requests"]
+    dedup_ok = dedup["dedup_rate"] >= MIN_DEDUP_RATE
+    print(
+        f"fusion: {fusion['requests']} requests -> {fusion['evaluations']} "
+        f"evaluations ({'PASS' if fusion_ok else 'FAIL'}); "
+        f"dedup rate {dedup['dedup_rate']:.3f} over {dedup['node_instances']} "
+        f"node instances ({'PASS' if dedup_ok else 'FAIL'} >= {MIN_DEDUP_RATE})"
+    )
+    sys.exit(0 if fusion_ok and dedup_ok else 1)

@@ -172,11 +172,45 @@ def main() -> None:
         )
     print()
 
+    # ---------------------------------------------------- the sweep graph
+    # Every request above actually flowed through the lazy sweep graph.
+    # Building nodes directly lets the planner work across requests: the
+    # strip/square ratio shares its square curve with the direct request
+    # (dedup), the two allocation curves fuse onto one evaluation over
+    # their union axis, and `--executor oracle` — here `executor=` —
+    # reruns the same plan on the scalar repro.core reference with
+    # bit-identical results.
+    from repro.graph import nodes, plan
+
+    forest = [
+        nodes.allocation_curve(
+            PAPER_BUS, FIVE_POINT, PartitionKind.SQUARE, range(64, 512, 16)
+        ),
+        nodes.allocation_curve(
+            PAPER_BUS, FIVE_POINT, PartitionKind.SQUARE, range(256, 1024, 16)
+        ),
+        nodes.strip_square_ratio(PAPER_BUS, FIVE_POINT, range(64, 512, 16)),
+    ]
+    optimized = plan(forest)
+    print("The optimized sweep graph (what `--explain` prints):")
+    print(optimized.explain())
+    via_numpy = optimized.execute()
+    via_oracle = plan(forest, executor="oracle").execute()
+    assert all(
+        np.array_equal(via_numpy[0][name], via_oracle[0][name])
+        for name in via_numpy[0]
+    )
+    assert np.array_equal(via_numpy[2], via_oracle[2])
+    print(
+        f"numpy and oracle executors agree bit for bit on all "
+        f"{len(forest)} requests\n"
+    )
+
     # ------------------------------------------------- the sweep server
     # `python -m repro serve` runs this daemon standalone; here it runs
     # on a background thread with an ephemeral port.  Identical
     # concurrent requests coalesce onto one compute, compatible
-    # allocation requests micro-batch onto one vectorized call, and
+    # requests of any family micro-batch onto one planner-fused call, and
     # --max-cache-mb (max_cache_mb=) keeps the store LRU-bounded.
     # Responses are byte-identical to computing offline.
     from repro.service import ServiceClient, SweepServer

@@ -85,6 +85,14 @@ from repro.batch.shard import (
     sharded_allocation_curve,
 )
 
+# The analysis shims bind repro.graph lazily per call to keep the
+# module graph acyclic (graph.nodes imports repro.batch.cache).  Load
+# it eagerly here — cache/engine/analysis are fully defined by now —
+# so the first curve call doesn't pay the graph's import cost inside a
+# caller's timed region.  When repro.graph itself started the import
+# chain, it is already (partially) in sys.modules and this is a no-op.
+import repro.graph  # noqa: E402,F401  (eager: first-call latency)
+
 __all__ = [
     "AllocationCurve",
     "CacheStats",

@@ -17,6 +17,13 @@ and ``tests/batch/test_analysis.py`` pins the equality across all four
 machine families, both partition kinds, and both stencils.  The scalar
 path remains the oracle; this layer is how it is served at scale.
 
+The public curve functions are *eager shims over the sweep graph*
+(:mod:`repro.graph`): each call builds the corresponding lazy
+:class:`~repro.graph.nodes.Node` and evaluates it through the planner,
+so caching, sibling fusion, and executor choice live in one place for
+every consumer.  The ``_compute_*`` kernels below remain the NumPy
+executor's implementation — same operations, same order, same bits.
+
 All entry points accept an optional ``cache`` (see
 :mod:`repro.batch.cache`); when omitted, the process-wide default cache
 is used if one has been configured.
@@ -32,7 +39,7 @@ import numpy as np
 
 from repro.batch.cache import SweepCache, resolve_cache
 from repro.batch.curves import _libm_pow, bus_optimal_area_curve
-from repro.batch.engine import SweepResult, SweepSpec, run_sweep
+from repro.batch.engine import SweepResult, SweepSpec
 from repro.core.crossover import CrossoverResult
 from repro.core.isoefficiency import IsoefficiencyFit
 from repro.core.minimal_size import _volume_coefficient
@@ -217,27 +224,14 @@ def optimal_allocation_curve(
     per grid side with the scalar optimizer's exact tie-breaking (first
     strict minimum; the serial run wins ties).
     """
-    n = np.asarray(grid_sides, dtype=float)
-    if n.ndim != 1 or n.size == 0:
-        raise InvalidParameterError("grid_sides must be a non-empty 1-D axis")
-    if np.any(n < 1):
-        raise InvalidParameterError("grid sides must be >= 1")
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
 
-    store = resolve_cache(cache)
-    if store is not None:
-        request = _allocation_request(
-            machine, stencil, kind, n, t_flop, max_processors, integer
-        )
-        arrays = store.get_or_compute(
-            request,
-            lambda: _compute_allocation_curve(
-                machine, stencil, kind, n, t_flop, max_processors, integer
-            ).to_arrays(),
-        )
-        return AllocationCurve.from_arrays(arrays, kind)
-    return _compute_allocation_curve(
-        machine, stencil, kind, n, t_flop, max_processors, integer
+    node = graph_nodes.allocation_curve(
+        machine, stencil, kind, grid_sides, t_flop, max_processors, integer
     )
+    arrays = graph_evaluate([node], cache=resolve_cache(cache))[0]
+    return AllocationCurve.from_arrays(arrays, kind)
 
 
 def _compute_allocation_curve(
@@ -319,6 +313,22 @@ def _compute_allocation_curve(
 # --------------------------------------------------------------------------
 
 
+def _compute_max_useful(
+    machine: BusArchitecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    n_arr: np.ndarray,
+    t_flop: float,
+) -> np.ndarray:
+    v = _volume_coefficient(machine, kind)
+    k = perimeters_required(kind, stencil)
+    et = stencil.flops_per_point * t_flop
+    ratio = et * n_arr / (v * k * machine.b)
+    if kind is PartitionKind.STRIP:
+        return np.sqrt(ratio)
+    return _libm_pow(ratio, 2.0 / 3.0)
+
+
 def max_useful_processors_curve(
     machine: BusArchitecture,
     stencil: Stencil,
@@ -332,33 +342,27 @@ def max_useful_processors_curve(
     ``N_max = sqrt(E·T·n / (v·k·b))`` for strips, the same ratio to the
     2/3 power for squares, broadcast over the grid-side axis.
     """
-    n_arr = np.asarray(grid_sides, dtype=float)
-    if np.any(n_arr < 1):
-        raise InvalidParameterError("grid sides must be >= 1")
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
 
-    def compute() -> dict[str, np.ndarray]:
-        v = _volume_coefficient(machine, kind)
-        k = perimeters_required(kind, stencil)
-        et = stencil.flops_per_point * t_flop
-        ratio = et * n_arr / (v * k * machine.b)
-        if kind is PartitionKind.STRIP:
-            out = np.sqrt(ratio)
-        else:
-            out = _libm_pow(ratio, 2.0 / 3.0)
-        return {"max_useful": out}
+    node = graph_nodes.max_useful_processors(machine, stencil, kind, grid_sides, t_flop)
+    return graph_evaluate([node], cache=resolve_cache(cache))[0]["max_useful"]
 
-    store = resolve_cache(cache)
-    if store is None:
-        return compute()["max_useful"]
-    request = (
-        "max_useful_processors_curve",
-        machine,
-        stencil,
-        kind,
-        n_arr,
-        ("float", repr(float(t_flop))),
+
+def _compute_minimal_problem_size(
+    machine: BusArchitecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    p: np.ndarray,
+    t_flop: float,
+) -> np.ndarray:
+    from repro.batch.curves import minimal_grid_side_curve
+
+    k = perimeters_required(kind, stencil)
+    side = minimal_grid_side_curve(
+        machine, k, stencil.flops_per_point, t_flop, p, kind
     )
-    return store.get_or_compute(request, compute)["max_useful"]
+    return side * side
 
 
 def minimal_problem_size_curve(
@@ -374,29 +378,13 @@ def minimal_problem_size_curve(
     ``n²_min`` over the processor-count axis (Figure 7's y-axis before
     the log), via the closed-form minimal grid side.
     """
-    from repro.batch.curves import minimal_grid_side_curve
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
 
-    p = np.asarray(n_processors, dtype=float)
-
-    def compute() -> dict[str, np.ndarray]:
-        k = perimeters_required(kind, stencil)
-        side = minimal_grid_side_curve(
-            machine, k, stencil.flops_per_point, t_flop, n_processors, kind
-        )
-        return {"n2_min": side * side}
-
-    store = resolve_cache(cache)
-    if store is None:
-        return compute()["n2_min"]
-    request = (
-        "minimal_problem_size_curve",
-        machine,
-        stencil,
-        kind,
-        p,
-        ("float", repr(float(t_flop))),
+    node = graph_nodes.minimal_problem_size(
+        machine, stencil, kind, n_processors, t_flop
     )
-    return store.get_or_compute(request, compute)["n2_min"]
+    return graph_evaluate([node], cache=resolve_cache(cache))[0]["n2_min"]
 
 
 # --------------------------------------------------------------------------
@@ -415,13 +403,13 @@ def speedup_ratio_curve(
     cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Vectorized :func:`repro.core.crossover.speedup_ratio` (A/B > 1 ⇒ A wins)."""
-    sa = optimal_allocation_curve(
-        machine_a, stencil, kind, grid_sides, t_flop, max_processors, cache=cache
-    ).speedup
-    sb = optimal_allocation_curve(
-        machine_b, stencil, kind, grid_sides, t_flop, max_processors, cache=cache
-    ).speedup
-    return sa / sb
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
+
+    node = graph_nodes.speedup_ratio(
+        machine_a, machine_b, stencil, kind, grid_sides, t_flop, max_processors
+    )
+    return graph_evaluate([node], cache=resolve_cache(cache))[0]
 
 
 def strip_square_ratio_curve(
@@ -433,25 +421,13 @@ def strip_square_ratio_curve(
     cache: SweepCache | None = None,
 ) -> np.ndarray:
     """Vectorized :func:`repro.core.crossover.strip_square_ratio` (< 1 ⇒ squares win)."""
-    st = optimal_allocation_curve(
-        machine,
-        stencil,
-        PartitionKind.STRIP,
-        grid_sides,
-        t_flop,
-        max_processors,
-        cache=cache,
-    ).speedup
-    sq = optimal_allocation_curve(
-        machine,
-        stencil,
-        PartitionKind.SQUARE,
-        grid_sides,
-        t_flop,
-        max_processors,
-        cache=cache,
-    ).speedup
-    return st / sq
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
+
+    node = graph_nodes.strip_square_ratio(
+        machine, stencil, grid_sides, t_flop, max_processors
+    )
+    return graph_evaluate([node], cache=resolve_cache(cache))[0]
 
 
 def find_crossover_grid_size_batch(
@@ -528,37 +504,13 @@ def grid_for_efficiency_curve(
     one ``cycle_time_area_grid`` call.  The predicate transcription is
     bit-identical, so each returned grid side matches the scalar search.
     """
-    if not 0 < target_efficiency < 1:
-        raise InvalidParameterError("target efficiency must be in (0, 1)")
-    p_int = np.asarray(processor_counts, dtype=int)
-    if p_int.ndim != 1 or p_int.size == 0:
-        raise InvalidParameterError("processor_counts must be a non-empty 1-D axis")
-    if np.any(p_int < 2):
-        raise InvalidParameterError("isoefficiency needs at least 2 processors")
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
 
-    store = resolve_cache(cache)
-    if store is not None:
-        request = (
-            "grid_for_efficiency_curve",
-            machine,
-            stencil,
-            kind,
-            p_int,
-            ("float", repr(float(target_efficiency))),
-            ("float", repr(float(t_flop))),
-            int(n_max),
-        )
-        return store.get_or_compute(
-            request,
-            lambda: {
-                "sides": _compute_grid_for_efficiency(
-                    machine, stencil, kind, p_int, target_efficiency, t_flop, n_max
-                )
-            },
-        )["sides"]
-    return _compute_grid_for_efficiency(
-        machine, stencil, kind, p_int, target_efficiency, t_flop, n_max
+    node = graph_nodes.grid_for_efficiency(
+        machine, stencil, kind, processor_counts, target_efficiency, t_flop, n_max
     )
+    return graph_evaluate([node], cache=resolve_cache(cache))[0]["sides"]
 
 
 def _compute_grid_for_efficiency(
@@ -643,25 +595,13 @@ def isoefficiency_exponent_grid(
     Same fitted exponent, same grid sides, computed with one batched
     efficiency search over the whole processor axis.
     """
-    if len(processor_counts) < 2:
-        raise InvalidParameterError("need at least two processor counts")
-    sides = grid_for_efficiency_curve(
-        machine,
-        stencil,
-        kind,
-        processor_counts,
-        target_efficiency,
-        t_flop,
-        cache=cache,
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
+
+    node = graph_nodes.isoefficiency_fit(
+        machine, stencil, kind, processor_counts, target_efficiency, t_flop
     )
-    log_n2 = np.log([float(s) * s for s in sides])
-    log_p = np.log(np.asarray(processor_counts, dtype=float))
-    slope = float(np.polyfit(log_p, log_n2, 1)[0])
-    return IsoefficiencyFit(
-        exponent=slope,
-        processors=tuple(int(pc) for pc in processor_counts),
-        problem_sizes=tuple(int(s) for s in sides),
-    )
+    return graph_evaluate([node], cache=resolve_cache(cache))[0]
 
 
 # --------------------------------------------------------------------------
@@ -736,11 +676,10 @@ def cached_run_sweep(
     — feeds the fingerprint, so any change recomputes and any repeat is
     served from memory or disk.
     """
-    store = resolve_cache(cache)
-    if store is None:
-        return run_sweep(spec)
-    arrays = store.get_or_compute(
-        ("run_sweep", spec),
-        lambda: dict(run_sweep(spec).cycle_times),
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
+
+    arrays = graph_evaluate([graph_nodes.sweep(spec)], cache=resolve_cache(cache))[0]
+    return SweepResult(
+        spec=spec, cycle_times={k: np.asarray(v) for k, v in arrays.items()}
     )
-    return SweepResult(spec=spec, cycle_times={k: np.asarray(v) for k, v in arrays.items()})

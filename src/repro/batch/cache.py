@@ -39,7 +39,7 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, fields, is_dataclass
+from dataclasses import dataclass, field, fields, is_dataclass
 from pathlib import Path
 from typing import Callable, Mapping
 
@@ -158,13 +158,27 @@ def fingerprint(request: object) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one :class:`SweepCache`."""
+    """Hit/miss/eviction counters for one :class:`SweepCache`.
+
+    Also carries the sweep-graph planner's counters (see
+    :mod:`repro.graph.planner`): graphs planned against this cache
+    record how many nodes they held, how many sibling requests fused
+    onto shared vectorized evaluations, how many subgraph instances
+    deduplicated onto already-planned nodes, and which executor ran the
+    evaluations — so a report can show not just hit rates but how much
+    work the planner removed before the cache was even consulted.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     memory_evictions: int = 0
     disk_evictions: int = 0
+    nodes_planned: int = 0
+    siblings_fused: int = 0
+    subgraphs_deduped: int = 0
+    #: Vectorized evaluations per executor name ({"numpy": 12, ...}).
+    executor_runs: dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -178,16 +192,23 @@ class CacheStats:
     def evictions(self) -> int:
         return self.memory_evictions + self.disk_evictions
 
-    def snapshot(self) -> dict[str, int]:
+    def count_executor_run(self, name: str, runs: int = 1) -> None:
+        self.executor_runs[name] = self.executor_runs.get(name, 0) + int(runs)
+
+    def snapshot(self) -> dict[str, int | dict[str, int]]:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "memory_evictions": self.memory_evictions,
             "disk_evictions": self.disk_evictions,
+            "nodes_planned": self.nodes_planned,
+            "siblings_fused": self.siblings_fused,
+            "subgraphs_deduped": self.subgraphs_deduped,
+            "executor_runs": dict(self.executor_runs),
         }
 
-    def merge(self, other: "CacheStats | Mapping[str, int]") -> "CacheStats":
+    def merge(self, other: "CacheStats | Mapping[str, object]") -> "CacheStats":
         """Add another cache's counters (a worker's snapshot) into this one.
 
         Multi-process paths — sharded workers, runner pools, the sweep
@@ -201,6 +222,13 @@ class CacheStats:
         self.misses += int(counts.get("misses", 0))
         self.memory_evictions += int(counts.get("memory_evictions", 0))
         self.disk_evictions += int(counts.get("disk_evictions", 0))
+        self.nodes_planned += int(counts.get("nodes_planned", 0))
+        self.siblings_fused += int(counts.get("siblings_fused", 0))
+        self.subgraphs_deduped += int(counts.get("subgraphs_deduped", 0))
+        runs = counts.get("executor_runs", {})
+        if isinstance(runs, Mapping):
+            for name, n in runs.items():
+                self.count_executor_run(str(name), int(n))
         return self
 
     def describe(self) -> str:
@@ -212,6 +240,13 @@ class CacheStats:
         )
         if self.evictions:
             line += f", {self.evictions} evictions"
+        if self.nodes_planned:
+            executors = "+".join(sorted(self.executor_runs)) or "none"
+            line += (
+                f"; graph: {self.nodes_planned} nodes planned, "
+                f"{self.siblings_fused} fused, "
+                f"{self.subgraphs_deduped} deduped [{executors}]"
+            )
         return line
 
 

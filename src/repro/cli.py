@@ -21,7 +21,11 @@ content-addressed sweep cache (``--max-cache-mb`` bounds it);
 ``optimize`` additionally accepts ``--jobs`` to shard large axes over a
 process pool.  With ``--server URL`` both commands route through a
 running ``repro serve`` daemon instead of computing locally — the
-output is byte-identical either way.
+output is byte-identical either way.  Both commands also take
+``--explain`` (print the optimized sweep graph — nodes, fusion groups,
+cache hits — without executing anything) and ``--executor`` (pick the
+graph backend: the default vectorized ``numpy`` executor or the scalar
+``oracle`` reference; the rendered bytes are identical on both).
 
 Examples::
 
@@ -103,6 +107,12 @@ def _reject_server_plus_cache(
     ``optimize``/``plan`` the daemon owns store, bound, and sharding.
     """
     if not getattr(args, "server", None):
+        if getattr(args, "executor", "numpy") != "numpy":
+            # Resolve eagerly so a typo fails before any work, naming
+            # the registered backends.
+            from repro.graph.executors import get_executor
+
+            get_executor(args.executor)
         return
     if getattr(args, "cache_dir", None):
         raise InvalidParameterError(
@@ -122,6 +132,16 @@ def _reject_server_plus_cache(
         raise InvalidParameterError(
             "--jobs has no effect with --server here: the daemon shards "
             "large axes itself (`repro serve --jobs ...`)"
+        )
+    if getattr(args, "explain", False):
+        raise InvalidParameterError(
+            "--explain is local: it plans the sweep graph without "
+            "executing, so there is nothing to route through a daemon"
+        )
+    if getattr(args, "executor", "numpy") != "numpy":
+        raise InvalidParameterError(
+            "--executor has no effect with --server: the daemon picks "
+            "its own executor"
         )
 
 
@@ -179,6 +199,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     _reject_server_plus_cache(args)
     machine = by_name(args.machine)
     kind = PartitionKind(args.partition)
+    if args.explain:
+        return _optimize_explain(args, machine, kind)
     if args.grid is not None:
         return _optimize_grid(args, machine, kind)
     if args.server:
@@ -205,6 +227,34 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             curve.cycle_time[0].item(),
             curve.speedup[0].item(),
             curve.efficiency[0].item(),
+        )
+        return 0
+    if args.executor != "numpy":
+        # One-point graph evaluation on the chosen backend; element 0
+        # equals the scalar optimizer bit for bit, so the same bytes
+        # render either way.
+        from repro.graph import nodes as graph_nodes
+        from repro.graph.planner import evaluate as graph_evaluate
+
+        node = graph_nodes.allocation_curve(
+            machine,
+            stencil_by_name(args.stencil),
+            kind,
+            [args.n],
+            t_flop=args.t_flop,
+            max_processors=args.max_processors,
+            integer=True,
+        )
+        arrays = graph_evaluate([node], executor=args.executor)[0]
+        _render_optimize_point(
+            args,
+            kind,
+            arrays["regime"][0],
+            arrays["processors"][0].item(),
+            arrays["area"][0].item(),
+            arrays["cycle_time"][0].item(),
+            arrays["speedup"][0].item(),
+            arrays["efficiency"][0].item(),
         )
         return 0
     workload = Workload(n=args.n, stencil=stencil_by_name(args.stencil), t_flop=args.t_flop)
@@ -259,6 +309,26 @@ def _render_allocation_curve(
     )
 
 
+def _optimize_explain(args: argparse.Namespace, machine, kind: PartitionKind) -> int:
+    """``optimize --explain``: print the planned graph, execute nothing."""
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import plan as plan_graph
+
+    sides = [args.n] if args.grid is None else parse_axis(args.grid)
+    node = graph_nodes.allocation_curve(
+        machine,
+        stencil_by_name(args.stencil),
+        kind,
+        sides,
+        t_flop=args.t_flop,
+        max_processors=args.max_processors,
+        integer=True,
+    )
+    cache = _open_cache(args.cache_dir, args.max_cache_mb)
+    print(plan_graph([node], cache=cache, executor=args.executor).explain())
+    return 0
+
+
 def _optimize_grid(args: argparse.Namespace, machine, kind: PartitionKind) -> int:
     """Whole-curve ``optimize``: one table over the swept grid sides."""
     sides = parse_axis(args.grid)
@@ -276,20 +346,42 @@ def _optimize_grid(args: argparse.Namespace, machine, kind: PartitionKind) -> in
         )
         _render_allocation_curve(args, kind, curve, len(sides))
         return 0
-    from repro.batch import sharded_allocation_curve
-
     cache = _open_cache(args.cache_dir, args.max_cache_mb)
-    curve = sharded_allocation_curve(
-        machine,
-        stencil_by_name(args.stencil),
-        kind,
-        sides,
-        t_flop=args.t_flop,
-        max_processors=args.max_processors,
-        integer=True,
-        jobs=args.jobs,
-        cache=cache,
-    )
+    if args.executor != "numpy":
+        if args.jobs != 1:
+            raise InvalidParameterError(
+                "--jobs shards the numpy executor only; drop it with "
+                f"--executor {args.executor}"
+            )
+        from repro.batch.analysis import AllocationCurve
+        from repro.graph import nodes as graph_nodes
+        from repro.graph.planner import evaluate as graph_evaluate
+
+        node = graph_nodes.allocation_curve(
+            machine,
+            stencil_by_name(args.stencil),
+            kind,
+            sides,
+            t_flop=args.t_flop,
+            max_processors=args.max_processors,
+            integer=True,
+        )
+        arrays = graph_evaluate([node], cache=cache, executor=args.executor)[0]
+        curve = AllocationCurve.from_arrays(arrays, kind)
+    else:
+        from repro.batch import sharded_allocation_curve
+
+        curve = sharded_allocation_curve(
+            machine,
+            stencil_by_name(args.stencil),
+            kind,
+            sides,
+            t_flop=args.t_flop,
+            max_processors=args.max_processors,
+            integer=True,
+            jobs=args.jobs,
+            cache=cache,
+        )
     _render_allocation_curve(args, kind, curve, len(sides))
     if cache is not None:
         print()
@@ -345,6 +437,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         return 0
     if args.server:
         return _plan_via_server(args)
+    if args.explain:
+        return _plan_explain(args, machine)
     rows = []
     for stencil in ALL_STENCILS:
         w = Workload(n=args.n, stencil=stencil)
@@ -407,28 +501,40 @@ def _plan_via_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_explain(args: argparse.Namespace, machine) -> int:
+    """``plan --explain``: the graph a capacity plan builds, unexecuted.
+
+    Mirrors the daemon's ``plan`` bundle: one max-useful threshold node
+    per (stencil, partition) pair plus the minimal-grid-side node over
+    the machine-size axis (``--grid`` or the default sizes).
+    """
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import plan as plan_graph
+
+    forest = [
+        graph_nodes.max_useful_processors(machine, stencil, kind, [args.n])
+        for stencil in ALL_STENCILS
+        for kind in (PartitionKind.STRIP, PartitionKind.SQUARE)
+    ]
+    axis = [8, 16, 32] if args.grid is None else parse_axis(args.grid)
+    forest.append(graph_nodes.plan_grid(machine, axis))
+    cache = _open_cache(args.cache_dir, args.max_cache_mb)
+    print(plan_graph(forest, cache=cache, executor=args.executor).explain())
+    return 0
+
+
 def _plan_grid(args: argparse.Namespace, machine) -> int:
     """Whole-curve capacity plan: minimal grid sides over the N axis."""
-    import numpy as np
-
-    from repro.batch import minimal_grid_side_curve
+    from repro.graph import nodes as graph_nodes
+    from repro.graph.planner import evaluate as graph_evaluate
 
     processors = parse_axis(args.grid)
     cache = _open_cache(args.cache_dir, args.max_cache_mb)
-
-    def compute() -> dict:
-        return {
-            kind.value: minimal_grid_side_curve(
-                machine, 1, 5.0, 1e-6, processors, kind
-            )
-            for kind in (PartitionKind.STRIP, PartitionKind.SQUARE)
-        }
-
-    if cache is None:
-        curves = compute()
-    else:
-        request = ("plan_grid", machine, np.asarray(processors, dtype=float))
-        curves = cache.get_or_compute(request, compute)
+    curves = graph_evaluate(
+        [graph_nodes.plan_grid(machine, processors)],
+        cache=cache,
+        executor=args.executor,
+    )[0]
     rows = [
         (
             n_procs,
@@ -530,6 +636,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="route through a running `repro serve` daemon (URL)",
     )
+    opt.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized sweep graph (nodes, fusion groups, "
+        "cache hits) without executing",
+    )
+    opt.add_argument(
+        "--executor",
+        default="numpy",
+        help="graph executor: numpy (vectorized, default) or oracle "
+        "(scalar repro.core reference)",
+    )
     opt.set_defaults(func=_cmd_optimize)
 
     plan = sub.add_parser("plan", help="capacity planning thresholds")
@@ -553,6 +671,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--server",
         default=None,
         help="route through a running `repro serve` daemon (URL)",
+    )
+    plan.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized sweep graph (nodes, fusion groups, "
+        "cache hits) without executing",
+    )
+    plan.add_argument(
+        "--executor",
+        default="numpy",
+        help="graph executor: numpy (vectorized, default) or oracle "
+        "(scalar repro.core reference)",
     )
     plan.set_defaults(func=_cmd_plan)
 

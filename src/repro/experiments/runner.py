@@ -229,7 +229,10 @@ def _cache_table(runs: list[ExperimentRun]) -> str | None:
     """Per-run sweep-cache hits/misses, plus the warm/cold verdict.
 
     A run whose requests were all served from the store is labelled
-    ``warm``; any recomputation marks it ``cold``.
+    ``warm``; any recomputation marks it ``cold``.  The planner columns
+    show how much work the sweep graph avoided: nodes planned, sibling
+    requests fused onto shared evaluations, and repeated subgraphs
+    deduplicated.
     """
     from repro.batch.cache import CacheStats
 
@@ -243,13 +246,41 @@ def _cache_table(runs: list[ExperimentRun]) -> str | None:
         total.merge(run_stats)
         hits, misses = run_stats.hits, run_stats.misses
         state = "-" if hits + misses == 0 else ("warm" if misses == 0 else "cold")
-        rows.append((r.experiment_id, hits, misses, state))
+        rows.append(
+            (
+                r.experiment_id,
+                hits,
+                misses,
+                run_stats.nodes_planned,
+                run_stats.siblings_fused,
+                run_stats.subgraphs_deduped,
+                state,
+            )
+        )
     state = (
         "warm" if total.hits and not total.misses else "cold"
     ) if total.requests else "-"
-    rows.append(("total", total.hits, total.misses, state))
+    rows.append(
+        (
+            "total",
+            total.hits,
+            total.misses,
+            total.nodes_planned,
+            total.siblings_fused,
+            total.subgraphs_deduped,
+            state,
+        )
+    )
     return format_table(
-        ["experiment", "cache hits", "cache misses", "state"],
+        [
+            "experiment",
+            "cache hits",
+            "cache misses",
+            "nodes planned",
+            "fused",
+            "deduped",
+            "state",
+        ],
         rows,
         title="Sweep cache",
     )

@@ -1,0 +1,47 @@
+"""Lazy sweep graphs: build analysis requests as DAGs, then plan them.
+
+The graph layer is the one front door every consumer — the eager
+:mod:`repro.batch.analysis` shims, the sweep service, the CLI's
+``plan``/``optimize`` grid modes, the experiment runner — now routes
+through: build :class:`Node` objects, hand them to :func:`plan`, and
+the planner dedups shared subgraphs against the content-addressed
+cache, fuses compatible siblings onto shared vectorized evaluations,
+and dispatches to a registered executor (NumPy by default, the scalar
+:mod:`repro.core` oracle for reference, a GPU backend as a future
+registry entry).
+
+>>> from repro.graph import nodes, evaluate
+>>> from repro.machines.catalog import PAPER_BUS, FLEX32
+>>> from repro.stencils.library import FIVE_POINT
+>>> from repro.stencils.perimeter import PartitionKind
+>>> a = nodes.allocation_curve(PAPER_BUS, FIVE_POINT, PartitionKind.SQUARE, range(64, 256))
+>>> b = nodes.allocation_curve(FLEX32, FIVE_POINT, PartitionKind.SQUARE, range(64, 256))
+>>> curves = evaluate([a, b])
+"""
+
+from repro.graph import nodes
+from repro.graph.executors import (
+    Executor,
+    NumpyExecutor,
+    OracleExecutor,
+    executor_names,
+    get_executor,
+    register_executor,
+)
+from repro.graph.nodes import Node
+from repro.graph.planner import Plan, PlannedNode, evaluate, plan
+
+__all__ = [
+    "Node",
+    "nodes",
+    "Plan",
+    "PlannedNode",
+    "plan",
+    "evaluate",
+    "Executor",
+    "NumpyExecutor",
+    "OracleExecutor",
+    "register_executor",
+    "get_executor",
+    "executor_names",
+]

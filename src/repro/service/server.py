@@ -10,14 +10,19 @@ Request lifecycle for ``POST /v1/compute``:
    :class:`~repro.batch.SweepCache` (``served: memory|disk``).
 3. A miss consults the in-flight table: an identical request already
    computing means *wait, don't recompute* (``served: coalesced``).
-4. Allocation-curve misses then enter the micro-batcher: requests that
-   agree on everything but their grid axis and land within one batching
-   window are merged onto a single vectorized analysis call over the
-   union axis; each requester gets its own slice, stored under its own
-   fingerprint (``served: batched`` for riders, ``computed`` for the
-   one thread that did the work).  Slices are bit-identical to
-   computing each request alone — every allocation-curve operation is
-   elementwise in ``n``.
+4. Cold requests then enter the micro-batcher, which is the sweep-graph
+   planner (:mod:`repro.graph`): each request is a lazy
+   :class:`~repro.graph.nodes.Node`, and nodes that land within one
+   batching window and share a fusion-compatibility fingerprint — same
+   family, machine closed form, stencil, partition kind, scalars; only
+   the axis differs — are planned together and fused onto a single
+   vectorized evaluation over the union axis.  Every family batches
+   this way (allocation curves *and* whole sweeps), not just
+   allocations.  Each requester gets its own slice, stored under its
+   own fingerprint (``served: batched`` for riders, ``computed`` for
+   the one thread that did the work).  Slices are bit-identical to
+   computing each request alone — every fusable family is elementwise
+   in its axis.
 
 Endpoints::
 
@@ -40,11 +45,13 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from repro.batch.analysis import _allocation_request, _compute_allocation_curve
 from repro.batch.cache import SweepCache, fingerprint, max_cache_bytes
-from repro.batch.engine import SweepSpec, run_sweep
-from repro.batch.shard import sharded_allocation_arrays
+from repro.batch.engine import SweepSpec
 from repro.errors import InvalidParameterError, ReproError
+from repro.graph import nodes as graph_nodes
+from repro.graph.executors import NumpyExecutor
+from repro.graph.nodes import Node
+from repro.graph.planner import plan as plan_graph
 from repro.service.schema import (
     encode_arrays,
     parse_allocation,
@@ -61,7 +68,8 @@ DEFAULT_PORT = 8733
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 
 #: Union axes at least this long are worth sharding over the server's
-#: worker pool (mirrors repro.batch.shard.MIN_CHUNK economics).
+#: worker pool (mirrors repro.batch.shard.MIN_CHUNK economics); handed
+#: to the NumPy executor as its shard threshold.
 _SHARD_THRESHOLD = 256
 
 
@@ -183,14 +191,21 @@ class SweepServer:
         # traffic (runner workers) also moves the cache's own hit
         # counters, which would make a hits/requests quotient meaningless.
         dedup = counters["hits"] + counters["coalesced"] + counters["batched"]
+        snapshot = self.cache.stats.snapshot()
         return {
             "uptime_s": time.time() - self.started,
-            "cache": self.cache.stats.snapshot(),
+            "cache": snapshot,
             "entries": len(self.cache),
             "max_bytes": self.cache.max_bytes,
             "cache_dir": None if self.cache.cache_dir is None else str(self.cache.cache_dir),
             "counters": counters,
             "dedup_ratio": (dedup / counters["requests"]) if counters["requests"] else 0.0,
+            "planner": {
+                "nodes_planned": snapshot["nodes_planned"],
+                "siblings_fused": snapshot["siblings_fused"],
+                "subgraphs_deduped": snapshot["subgraphs_deduped"],
+                "executor_runs": snapshot["executor_runs"],
+            },
         }
 
     # -------------------------------------------------------------- computing
@@ -201,20 +216,16 @@ class SweepServer:
         self._count("requests")
         if kind == "allocation_curve":
             args = parse_allocation(payload)
-            request = _allocation_request(
+            node = graph_nodes.allocation_curve(
                 args["machine"],
                 args["stencil"],
                 args["kind"],
-                np.asarray(args["grid_sides"], dtype=float),
+                args["grid_sides"],
                 args["t_flop"],
                 args["max_processors"],
                 args["integer"],
             )
-            arrays, served = self._serve(
-                fingerprint(request),
-                compute=None,
-                batch=lambda key, flight: self._allocation_batch(key, args, flight),
-            )
+            arrays, served = self._serve_node(node)
         elif kind == "plan":
             args = parse_plan(payload)
             arrays, served = self._serve_plan(args)
@@ -228,15 +239,20 @@ class SweepServer:
                 kind=args["kind"],
                 t_flop=args["t_flop"],
             )
-            arrays, served = self._serve(
-                fingerprint(("run_sweep", spec)),
-                compute=lambda: dict(run_sweep(spec).cycle_times),
-            )
+            arrays, served = self._serve_node(graph_nodes.sweep(spec))
         else:
             raise InvalidParameterError(
                 f"unknown request kind {kind!r}; expected allocation_curve, plan, or sweep"
             )
         return {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
+
+    def _serve_node(self, node: Node) -> tuple[dict[str, np.ndarray], str]:
+        """Serve one graph leaf through cache → flights → planner fusion."""
+        return self._serve(
+            node.key,
+            compute=None,
+            batch=lambda key, flight: self._family_batch(key, node, flight),
+        )
 
     def _serve(
         self,
@@ -283,30 +299,27 @@ class SweepServer:
 
     # The micro-batcher -----------------------------------------------------
 
-    def _allocation_batch(
-        self, key: str, args: Mapping[str, Any], flight: _Flight
+    def _family_batch(
+        self, key: str, node: Node, flight: _Flight
     ) -> tuple[dict[str, np.ndarray], str]:
-        """Merge compatible cold allocation requests onto one analysis call.
+        """Merge compatible cold requests of *any* family onto one plan.
 
-        Compatibility = same machine fingerprint (closed-form
-        canonical), stencil, partition kind, flop time, processor cap,
-        and integer flag; only the grid axes differ.  The bucket leader
-        sleeps one batching window, gathers everyone who arrived, and
-        evaluates the union axis once; slicing is exact because the
-        allocation curve is elementwise in ``n``.
+        Buckets key on the node's ``(op, compat)`` — its family plus
+        its fusion-compatibility fingerprint (machine closed form,
+        stencil, partition kind, scalars; only the axis differs).  The
+        bucket leader sleeps one batching window, gathers everyone who
+        arrived, and hands all member nodes to the sweep-graph planner,
+        which fuses them onto one vectorized evaluation over the union
+        axis and stores each member's slice under its own fingerprint.
+        ``lookup=False`` because the request pipeline already counted
+        each member's miss — daemon hit/miss totals stay identical to
+        the offline path.
         """
-        compat = (
-            fingerprint(args["machine"]),
-            args["stencil"].name,
-            args["kind"].value,
-            repr(args["t_flop"]),
-            None if args["max_processors"] is None else repr(args["max_processors"]),
-            args["integer"],
-        )
+        compat = (node.op, node.compat)
         with self._batch_lock:
             bucket = self._buckets.setdefault(compat, [])
             leader = not bucket
-            bucket.append((key, args, flight))
+            bucket.append((key, node, flight))
         if not leader:
             if not flight.event.wait(self.compute_timeout_s):
                 raise ReproError("timed out waiting for the batch leader")
@@ -319,30 +332,15 @@ class SweepServer:
             time.sleep(self.batch_window_s)
         with self._batch_lock:
             members = self._buckets.pop(compat)
-        union = sorted({int(n) for _, margs, _ in members for n in margs["grid_sides"]})
-        union_arr = np.asarray(union, dtype=float)
         try:
-            if self.jobs > 1 and len(union) >= _SHARD_THRESHOLD:
-                arrays = sharded_allocation_arrays(
-                    args["machine"],
-                    args["stencil"],
-                    args["kind"],
-                    union,
-                    args["t_flop"],
-                    args["max_processors"],
-                    args["integer"],
-                    jobs=self.jobs,
-                )
-            else:
-                arrays = _compute_allocation_curve(
-                    args["machine"],
-                    args["stencil"],
-                    args["kind"],
-                    union_arr,
-                    args["t_flop"],
-                    args["max_processors"],
-                    args["integer"],
-                ).to_arrays()
+            results = plan_graph(
+                [mnode for _, mnode, _ in members],
+                cache=self.cache,
+                executor=NumpyExecutor(
+                    jobs=self.jobs, shard_threshold=_SHARD_THRESHOLD
+                ),
+                lookup=False,
+            ).execute()
         except Exception as exc:
             message = f"{type(exc).__name__}: {exc}"
             for mkey, _, mflight in members:
@@ -354,13 +352,7 @@ class SweepServer:
             raise
         self._count("computed")
         value = None
-        for mkey, margs, mflight in members:
-            idx = np.searchsorted(
-                union_arr, np.asarray(margs["grid_sides"], dtype=float)
-            )
-            stored = self.cache.store(
-                mkey, {name: np.asarray(a)[idx] for name, a in arrays.items()}
-            )
+        for (mkey, _, mflight), stored in zip(members, results):
             if mflight is flight:
                 value = stored
             else:
@@ -428,16 +420,13 @@ class SweepServer:
                     machine, 1, 5.0, 1e-6, defaults, PartitionKind.SQUARE
                 )
             else:
-                grid_request = ("plan_grid", machine, np.asarray(grid, dtype=float))
-                curves = self.cache.get_or_compute(
-                    grid_request,
-                    lambda: {
-                        kind.value: minimal_grid_side_curve(
-                            machine, 1, 5.0, 1e-6, grid, kind
-                        )
-                        for kind in (PartitionKind.STRIP, PartitionKind.SQUARE)
-                    },
-                )
+                # The same lazy node the CLI's --grid mode plans, so
+                # daemon and command line share store entries.
+                from repro.graph.planner import evaluate as graph_evaluate
+
+                curves = graph_evaluate(
+                    [graph_nodes.plan_grid(machine, grid)], cache=self.cache
+                )[0]
                 out["grid_processors"] = np.asarray(grid, dtype=int)
                 out["grid_strip"] = curves[PartitionKind.STRIP.value]
                 out["grid_square"] = curves[PartitionKind.SQUARE.value]

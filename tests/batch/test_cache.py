@@ -96,6 +96,12 @@ class TestSweepCacheLevels:
             "misses": 1,
             "memory_evictions": 0,
             "disk_evictions": 0,
+            # Each eager call plans a one-node graph; the repeat is a
+            # memory hit, so only the first ran the numpy executor.
+            "nodes_planned": 2,
+            "siblings_fused": 0,
+            "subgraphs_deduped": 0,
+            "executor_runs": {"numpy": 1},
         }
 
     def test_different_requests_do_not_collide(self, tmp_path):

@@ -60,6 +60,14 @@ class TestHealthAndStats:
         assert stats["cache"]["misses"] == 0
         assert "dedup_ratio" in stats
 
+    def test_stats_surface_planner_counters(self, client):
+        client.allocation_curve("paper-bus", "5-point", "square", SIDES)
+        stats = client.stats()
+        assert stats["planner"]["nodes_planned"] >= 1
+        assert stats["planner"]["executor_runs"] == {"numpy": 1}
+        assert "siblings_fused" in stats["planner"]
+        assert "subgraphs_deduped" in stats["planner"]
+
 
 class TestAllocationRequests:
     def test_served_curve_is_bit_identical(self, client):
@@ -181,6 +189,50 @@ class TestCoalescing:
         counts = Counter(outcomes)
         assert counts["computed"] >= 1
         assert counts["batched"] >= 1  # at least one rider merged onto it
+
+    def test_micro_batch_compatible_sweeps_one_compute(self, server):
+        # Satellite of the planner rewrite: the micro-batcher is no
+        # longer allocation-only — compatible *sweep* requests (same
+        # processors/machines/stencil/kind, different grid axes) ride
+        # one fused evaluation too.
+        outcomes: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(6)
+
+        def fire(lo: int):
+            barrier.wait()
+            c = ServiceClient(server.url)
+            c.sweep(
+                list(range(lo, lo + 120)), [1.0, 4.0, 16.0], ["ipsc", "paper-bus"]
+            )
+            with lock:
+                outcomes.append(c.last_served)
+
+        threads = [
+            threading.Thread(target=fire, args=(64 + 13 * i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts = Counter(outcomes)
+        assert counts["computed"] >= 1
+        assert counts["batched"] >= 1  # at least one rider merged onto it
+
+        # Every batched slice is bit-identical to a direct evaluation.
+        verifier = ServiceClient(server.url)
+        for i in range(6):
+            lo = 64 + 13 * i
+            sides = list(range(lo, lo + 120))
+            surfaces = verifier.sweep(sides, [1.0, 4.0, 16.0], ["ipsc", "paper-bus"])
+            assert verifier.last_served in ("memory", "disk")
+            direct = run_sweep(
+                SweepSpec.across_catalog(
+                    sides, [1.0, 4.0, 16.0], machines=["ipsc", "paper-bus"]
+                )
+            )
+            for name in ("ipsc", "paper-bus"):
+                np.testing.assert_array_equal(surfaces[name], direct.cycle_time(name))
 
     def test_batched_slices_equal_direct_computation(self, server):
         barrier = threading.Barrier(4)

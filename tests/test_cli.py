@@ -194,6 +194,97 @@ class TestPlanGrid:
         assert "[warm]" in capsys.readouterr().out
 
 
+class TestExplainAndExecutor:
+    def test_optimize_explain_plans_without_executing(self, capsys):
+        code = main(
+            ["optimize", "--machine", "paper-bus", "--grid", "64:256:16", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep graph: 1 request(s)" in out
+        assert "allocation_curve[paper-bus" in out
+        assert "compute" in out
+        # No allocation table was printed — the graph was not executed.
+        assert "Optimal allocation curve" not in out
+
+    def test_plan_explain_shows_the_whole_forest(self, capsys):
+        code = main(["plan", "--machine", "paper-bus", "--n", "256", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep graph:" in out
+        assert "max_useful[paper-bus" in out
+        assert "plan_grid[paper-bus" in out
+        assert "max useful processors" not in out  # anchor table not printed
+
+    def test_explain_reports_cache_hits(self, capsys, tmp_path):
+        args = [
+            "optimize",
+            "--machine",
+            "paper-bus",
+            "--grid",
+            "64:128:64",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        main(args)
+        capsys.readouterr()
+        main(args + ["--explain"])
+        out = capsys.readouterr().out
+        assert "1 cache hit(s)" in out
+        assert "cached (" in out
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["optimize", "--machine", "flex32", "--grid", "64:256:16"],
+            ["optimize", "--machine", "paper-bus", "--n", "256"],
+            ["plan", "--machine", "paper-bus-async", "--grid", "2:32:2"],
+        ],
+    )
+    def test_oracle_executor_output_is_byte_identical(self, capsys, argv):
+        assert main(argv) == 0
+        via_numpy = capsys.readouterr().out
+        assert main(argv + ["--executor", "oracle"]) == 0
+        via_oracle = capsys.readouterr().out
+        assert via_oracle == via_numpy
+
+    def test_unknown_executor_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="unknown executor"):
+            main(
+                ["optimize", "--machine", "paper-bus", "--n", "64",
+                 "--executor", "cuda"]
+            )
+
+    def test_explain_with_server_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="--explain is local"):
+            main(
+                ["optimize", "--machine", "paper-bus", "--grid", "64:128:64",
+                 "--server", "http://127.0.0.1:1", "--explain"]
+            )
+
+    def test_executor_with_server_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="--executor"):
+            main(
+                ["plan", "--machine", "paper-bus", "--n", "64",
+                 "--server", "http://127.0.0.1:1", "--executor", "oracle"]
+            )
+
+    def test_oracle_with_jobs_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="--jobs"):
+            main(
+                ["optimize", "--machine", "paper-bus", "--grid", "64:128:64",
+                 "--executor", "oracle", "--jobs", "4"]
+            )
+
+
 class TestExperimentsOutput:
     def test_output_directory_created(self, capsys, tmp_path):
         target = tmp_path / "fresh" / "nested"
