@@ -1,0 +1,83 @@
+"""Static analysis over this repository's own source (``repro lint``).
+
+The analyzer enforces the invariants the test suite can't see directly:
+
+* ``fingerprint-purity`` — nothing reachable from the cache's
+  fingerprint/serving paths may be nondeterministic;
+* ``lock-discipline`` — guarded shared state is only touched under its
+  lock (learned from ``with self._lock:`` blocks and ``# guarded-by:``
+  annotations);
+* ``vectorization-guard`` — batch-tier curve code never loops over
+  array axes in Python;
+* ``parity-coverage`` — every public closed form has a vectorized twin
+  and a bit-equality test, or a recorded exemption.
+
+Run it via ``repro lint`` (text) or ``repro lint --format json``
+(written to ``results/LINT.json``, uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .framework import (
+    Finding,
+    Project,
+    Rule,
+    RuleResult,
+    Suppression,
+    all_rules,
+    register_rule,
+    run_rules,
+)
+from .locks import LockRule
+from .parity import ParityRule
+from .purity import PurityRule
+from .report import LintReport, render_text, run_report, to_payload, write_json
+from .vectorization import VectorizationRule
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "LockRule",
+    "ParityRule",
+    "Project",
+    "PurityRule",
+    "Rule",
+    "RuleResult",
+    "Suppression",
+    "VectorizationRule",
+    "all_rules",
+    "default_rules",
+    "lint_tree",
+    "register_rule",
+    "render_text",
+    "run_report",
+    "run_rules",
+    "to_payload",
+    "write_json",
+]
+
+#: src/repro — the tree the analyzer ships pointed at itself.
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+def default_rules(tests_root: Path | None = None) -> list[Rule]:
+    """The shipped rule set, wired for the real tree."""
+    if tests_root is None:
+        candidate = _PACKAGE_ROOT.parent.parent / "tests"
+        tests_root = candidate if candidate.is_dir() else None
+    return [
+        PurityRule(),
+        LockRule(),
+        VectorizationRule(),
+        ParityRule(tests_root=tests_root),
+    ]
+
+
+def lint_tree(
+    root: Path | None = None, tests_root: Path | None = None
+) -> LintReport:
+    """Lint a source tree (defaults to the installed ``repro`` package)."""
+    project = Project.load(root if root is not None else _PACKAGE_ROOT)
+    return run_report(project, default_rules(tests_root=tests_root))

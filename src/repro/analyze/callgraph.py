@@ -1,0 +1,326 @@
+"""Project-wide call graph for reachability-based rules.
+
+The purity rule needs "every function transitively reachable from the
+fingerprint entry points".  This module builds a conservative call
+graph over the parsed :class:`~repro.analyze.framework.Project`:
+
+* Functions are keyed ``module:qualname`` (``repro.batch.cache:SweepCache.store``).
+* Calls are resolved through module imports (``from x import f``,
+  ``import x.y``), through ``self.method(...)`` within a class (including
+  methods inherited from project-local base classes), and through plain
+  module-local names.
+* Unresolvable calls (into the stdlib, numpy, ...) are kept as *external*
+  edges so rules can pattern-match the dotted name (``time.time``,
+  ``np.random.default_rng``) without needing those modules parsed.
+
+This is deliberately a static over-approximation: no dynamic dispatch,
+no aliasing through data structures.  For the rule set here that is the
+right trade — the fingerprint paths are plain direct calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .framework import Project, SourceModule
+
+__all__ = ["CallGraph", "FunctionInfo", "build_call_graph"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition in the project."""
+
+    key: str  # "module:qualname"
+    module: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Resolved project-internal callees, as "module:qualname" keys.
+    calls: set[str] = field(default_factory=set)
+    #: Unresolved call targets, as dotted names ("time.time", "id").
+    external_calls: set[tuple[str, int]] = field(default_factory=set)
+
+
+class CallGraph:
+    def __init__(self, functions: dict[str, FunctionInfo]):
+        self.functions = functions
+
+    def get(self, key: str) -> FunctionInfo | None:
+        return self.functions.get(key)
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        """All function keys transitively callable from ``roots``."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            info = self.functions[key]
+            stack.extend(c for c in info.calls if c not in seen)
+        return seen
+
+
+# --------------------------------------------------------------------------
+# Construction
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _ModuleScope:
+    """What each bare name in a module resolves to."""
+
+    #: local name -> module it aliases ("np" -> "numpy")
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> "module:qualname" or "module.attr" dotted fallback
+    imported_names: dict[str, str] = field(default_factory=dict)
+    #: names defined in this module (functions and classes)
+    local_defs: set[str] = field(default_factory=set)
+    #: class name -> list of project-local base-class "module:Class" keys
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _collect_scope(module: SourceModule) -> _ModuleScope:
+    scope = _ModuleScope()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                scope.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    scope.module_aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            source = _resolve_from_import(module.name, node)
+            if source is None:
+                continue
+            for alias in node.names:
+                scope.imported_names[alias.asname or alias.name] = (
+                    f"{source}:{alias.name}"
+                )
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            scope.local_defs.add(node.name)
+    return scope
+
+
+def _resolve_from_import(module_name: str, node: ast.ImportFrom) -> str | None:
+    if node.level == 0:
+        return node.module
+    # Relative import: walk up from the *package* containing the module.
+    parts = module_name.split(".")
+    # A module's package is everything but its last component; ``from .``
+    # inside a package __init__ would differ, but Project.load names
+    # __init__ modules by their package already.
+    base = parts[: len(parts) - (node.level - 1) - 1] if node.level > 1 else parts[:-1]
+    # Package __init__ modules: "repro.batch" importing ".cache" at level 1
+    # resolves relative to itself, not its parent.
+    if node.level == 1 and _looks_like_package(module_name):
+        base = parts
+    if node.module:
+        return ".".join([*base, node.module]) if base else node.module
+    return ".".join(base) if base else None
+
+
+_PACKAGES: set[str] = set()
+
+
+def _looks_like_package(name: str) -> bool:
+    return name in _PACKAGES
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    _PACKAGES.clear()
+    # A module is a package if any other module name nests under it.
+    names = set(project.modules)
+    for name in names:
+        parent = name.rsplit(".", 1)[0] if "." in name else None
+        while parent:
+            _PACKAGES.add(parent)
+            parent = parent.rsplit(".", 1)[0] if "." in parent else None
+    # Packages themselves (from __init__.py) may also appear as modules.
+    for name in names:
+        if any(other.startswith(name + ".") for other in names):
+            _PACKAGES.add(name)
+
+    scopes = {m.name: _collect_scope(m) for m in project}
+    functions: dict[str, FunctionInfo] = {}
+    class_methods: dict[str, dict[str, str]] = {}  # "mod:Class" -> {meth: key}
+    class_bases: dict[str, list[tuple[str, str | None]]] = {}
+
+    for module in project:
+        scope = scopes[module.name]
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = f"{module.name}:{node.name}"
+                functions[key] = FunctionInfo(key, module.name, node.name, node)
+            elif isinstance(node, ast.ClassDef):
+                ckey = f"{module.name}:{node.name}"
+                class_methods[ckey] = {}
+                bases: list[tuple[str, str | None]] = []
+                for b in node.bases:
+                    bname = _dotted(b)
+                    if bname is not None:
+                        bases.append((module.name, bname))
+                class_bases[ckey] = bases
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qual = f"{node.name}.{item.name}"
+                        key = f"{module.name}:{qual}"
+                        functions[key] = FunctionInfo(key, module.name, qual, item)
+                        class_methods[ckey][item.name] = key
+
+    def resolve_class(module_name: str, name: str) -> str | None:
+        """Resolve a class name used in ``module_name`` to a class key."""
+        scope = scopes.get(module_name)
+        if scope is None:
+            return None
+        head = name.split(".")[0]
+        if name in scope.local_defs and f"{module_name}:{name}" in class_methods:
+            return f"{module_name}:{name}"
+        target = scope.imported_names.get(name)
+        if target is not None and target in class_methods:
+            return target
+        if target is not None and ":" in target:
+            # Re-exported through a package __init__: chase one hop.
+            src_mod, src_name = target.split(":", 1)
+            chased = resolve_class(src_mod, src_name)
+            if chased is not None:
+                return chased
+        mod = scope.module_aliases.get(head)
+        if mod is not None and "." in name:
+            candidate = f"{mod}.{'.'.join(name.split('.')[1:-1])}".rstrip(".")
+            tail = name.split(".")[-1]
+            ckey = f"{candidate}:{tail}" if candidate else f"{mod}:{tail}"
+            if ckey in class_methods:
+                return ckey
+        return None
+
+    def method_lookup(ckey: str, meth: str, depth: int = 0) -> str | None:
+        """Find ``meth`` on class ``ckey`` or its project-local bases."""
+        if depth > 8:
+            return None
+        found = class_methods.get(ckey, {}).get(meth)
+        if found is not None:
+            return found
+        for base_mod, base_name in class_bases.get(ckey, []):
+            if base_name is None:
+                continue
+            base_key = resolve_class(base_mod, base_name)
+            if base_key is not None:
+                found = method_lookup(base_key, meth, depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # Second pass: resolve calls inside each function body.
+    for module in project:
+        scope = scopes[module.name]
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _resolve_calls(
+                    functions[f"{module.name}:{node.name}"],
+                    module,
+                    scope,
+                    functions,
+                    class_methods,
+                    method_lookup,
+                    resolve_class,
+                    enclosing_class=None,
+                )
+            elif isinstance(node, ast.ClassDef):
+                ckey = f"{module.name}:{node.name}"
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        _resolve_calls(
+                            functions[f"{module.name}:{node.name}.{item.name}"],
+                            module,
+                            scope,
+                            functions,
+                            class_methods,
+                            method_lookup,
+                            resolve_class,
+                            enclosing_class=ckey,
+                        )
+    return CallGraph(functions)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute/name chains as a dotted string, else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve_calls(
+    info: FunctionInfo,
+    module: SourceModule,
+    scope: _ModuleScope,
+    functions: dict[str, FunctionInfo],
+    class_methods: dict[str, dict[str, str]],
+    method_lookup,
+    resolve_class,
+    enclosing_class: str | None,
+) -> None:
+    for call in ast.walk(info.node):
+        if not isinstance(call, ast.Call):
+            continue
+        target = call.func
+        dotted = _dotted(target)
+        resolved = False
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in scope.local_defs and f"{module.name}:{name}" in functions:
+                info.calls.add(f"{module.name}:{name}")
+                resolved = True
+            elif name in scope.imported_names:
+                imp = scope.imported_names[name]
+                if imp in functions:
+                    info.calls.add(imp)
+                    resolved = True
+                else:
+                    # Class constructor -> __init__, or re-export chase.
+                    ckey = resolve_class(module.name, name)
+                    if ckey is not None:
+                        init = method_lookup(ckey, "__init__")
+                        if init is not None:
+                            info.calls.add(init)
+                            resolved = True
+            elif name in scope.local_defs:
+                # Local class constructor.
+                ckey = f"{module.name}:{name}"
+                if ckey in class_methods:
+                    init = method_lookup(ckey, "__init__")
+                    if init is not None:
+                        info.calls.add(init)
+                    resolved = True
+        elif isinstance(target, ast.Attribute):
+            base = _dotted(target.value)
+            if base == "self" and enclosing_class is not None:
+                found = method_lookup(enclosing_class, target.attr)
+                if found is not None:
+                    info.calls.add(found)
+                    resolved = True
+            elif base is not None:
+                head = base.split(".")[0]
+                mod = scope.module_aliases.get(head)
+                if mod is not None:
+                    full_mod = (
+                        mod
+                        if base == head
+                        else ".".join([mod, *base.split(".")[1:]])
+                    )
+                    fkey = f"{full_mod}:{target.attr}"
+                    if fkey in functions:
+                        info.calls.add(fkey)
+                        resolved = True
+        if not resolved and dotted is not None:
+            info.external_calls.add((dotted, call.lineno))

@@ -1,0 +1,322 @@
+"""The analyzer's chassis: sources, suppressions, findings, rules.
+
+``repro lint`` is a custom static-analysis pass over this repository's
+own source.  Everything the individual rules share lives here:
+
+* :class:`SourceModule` / :class:`Project` — parsed ASTs for every
+  module under the package root (or, in tests, for synthetic in-memory
+  trees), with per-line comment access for the annotation conventions.
+* **Suppressions** — ``# lint: disable=<rule>[,<rule>] -- <reason>``
+  on the offending line silences that rule *for that line*; the same
+  comment trailing a ``def`` or ``class`` line silences it for the
+  whole scope.  The justification after ``--`` is mandatory: a
+  suppression without one is itself reported as a finding, so every
+  silenced invariant carries its reason in the source.
+* :class:`Finding` / :class:`Rule` / the registry — rules declare a
+  name and produce findings; :func:`run_rules` applies suppressions
+  and splits active from suppressed.
+
+The conventions the rules themselves read (``# guarded-by: <lock>``,
+``# requires-lock: <lock>``) are also parsed here so their syntax stays
+in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Finding",
+    "Suppression",
+    "SourceModule",
+    "Project",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "run_rules",
+]
+
+#: ``# lint: disable=rule-a,rule-b -- why this is sound``
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=(?P<rules>[\w,-]+)(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+#: ``# guarded-by: _lock`` — declares the lock protecting an attribute.
+_GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>\w+)")
+#: ``# requires-lock: _lock`` — the method runs with the lock already held.
+_REQUIRES_LOCK_RE = re.compile(r"#\s*requires-lock:\s*(?P<lock>\w+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    module: str
+    line: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.module}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# lint: disable=...`` comment and what it covers."""
+
+    rules: tuple[str, ...]
+    module: str
+    line: int
+    #: Inclusive line range the suppression covers (== (line, line) for
+    #: line suppressions; the scope's span for def/class suppressions).
+    span: tuple[int, int]
+    reason: str | None
+
+    def covers(self, rule: str, line: int) -> bool:
+        return rule in self.rules and self.span[0] <= line <= self.span[1]
+
+
+class SourceModule:
+    """One parsed source file plus its comment-borne annotations."""
+
+    def __init__(self, name: str, path: Path | None, text: str) -> None:
+        self.name = name
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path or f"<{name}>"))
+        self._comments = self._collect_comments(text)
+        self.suppressions = self._collect_suppressions()
+
+    # ------------------------------------------------------------- comments
+
+    @staticmethod
+    def _collect_comments(text: str) -> dict[int, str]:
+        """Line number → comment text, via the tokenizer (not substring
+        search, so ``#`` inside string literals never parses as one)."""
+        comments: dict[int, str] = {}
+        try:
+            for tok in tokenize.generate_tokens(StringIO(text).readline):
+                if tok.type == tokenize.COMMENT:
+                    comments[tok.start[0]] = tok.string
+        except tokenize.TokenError:  # pragma: no cover - ast.parse caught it
+            pass
+        return comments
+
+    def comment_on(self, line: int) -> str | None:
+        return self._comments.get(line)
+
+    def guarded_by(self, line: int) -> str | None:
+        """The ``# guarded-by: <lock>`` annotation on ``line``, if any."""
+        comment = self._comments.get(line)
+        if comment is None:
+            return None
+        m = _GUARDED_BY_RE.search(comment)
+        return m.group("lock") if m else None
+
+    def requires_lock(self, node: ast.FunctionDef) -> str | None:
+        """The ``# requires-lock: <lock>`` annotation on a ``def``.
+
+        Checked on the ``def`` line itself and on the line directly
+        above it (where decorators or long signatures push comments).
+        """
+        for line in (node.lineno, node.lineno - 1):
+            comment = self._comments.get(line)
+            if comment is not None:
+                m = _REQUIRES_LOCK_RE.search(comment)
+                if m:
+                    return m.group("lock")
+        return None
+
+    # --------------------------------------------------------- suppressions
+
+    def _collect_suppressions(self) -> list[Suppression]:
+        scopes = self._scope_spans()
+        out: list[Suppression] = []
+        for line, comment in self._comments.items():
+            m = _SUPPRESS_RE.search(comment)
+            if m is None:
+                continue
+            rules = tuple(r.strip() for r in m.group("rules").split(",") if r.strip())
+            span = scopes.get(line, (line, line))
+            out.append(
+                Suppression(
+                    rules=rules,
+                    module=self.name,
+                    line=line,
+                    span=span,
+                    reason=m.group("reason"),
+                )
+            )
+        return out
+
+    def _scope_spans(self) -> dict[int, tuple[int, int]]:
+        """def/class header line → the scope's (start, end) line span.
+
+        A suppression on a ``def``/``class`` line covers the whole
+        body; anywhere else it covers just its own line.
+        """
+        spans: dict[int, tuple[int, int]] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                end = getattr(node, "end_lineno", node.lineno) or node.lineno
+                # The header may span several lines (long signatures);
+                # map each of them to the scope.
+                body_start = node.body[0].lineno if node.body else node.lineno
+                for line in range(node.lineno, body_start + 1):
+                    spans[line] = (node.lineno, end)
+        return spans
+
+    def suppression_for(self, rule: str, line: int) -> Suppression | None:
+        """The narrowest suppression covering ``(rule, line)``, if any."""
+        best: Suppression | None = None
+        for sup in self.suppressions:
+            if sup.covers(rule, line):
+                if best is None or (sup.span[1] - sup.span[0]) < (
+                    best.span[1] - best.span[0]
+                ):
+                    best = sup
+        return best
+
+
+class Project:
+    """Every parsed module the rules can see, keyed by dotted name."""
+
+    def __init__(self, modules: Mapping[str, SourceModule], root: Path | None = None):
+        self.modules = dict(modules)
+        self.root = root
+
+    @classmethod
+    def load(cls, root: Path, package: str = "repro") -> "Project":
+        """Parse ``<root>/**/*.py`` as the ``package`` namespace."""
+        root = Path(root)
+        modules: dict[str, SourceModule] = {}
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).with_suffix("")
+            parts = [package, *rel.parts]
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            name = ".".join(parts)
+            modules[name] = SourceModule(name, path, path.read_text())
+        return cls(modules, root=root)
+
+    @classmethod
+    def from_sources(cls, sources: Mapping[str, str]) -> "Project":
+        """In-memory project for rule fixture tests."""
+        return cls(
+            {name: SourceModule(name, None, text) for name, text in sources.items()}
+        )
+
+    def get(self, name: str) -> SourceModule | None:
+        return self.modules.get(name)
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules.values())
+
+
+# --------------------------------------------------------------------------
+# Rules and the registry
+# --------------------------------------------------------------------------
+
+
+class Rule:
+    """One invariant checker.  Subclasses set ``name`` and ``check``."""
+
+    #: Registry key; also what suppression comments name.
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, project: Project) -> list[Finding]:
+        raise NotImplementedError
+
+    def tables(self, project: Project) -> dict[str, list[dict[str, object]]]:
+        """Optional structured output (the parity rule's coverage table)."""
+        return {}
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: expose a rule to ``repro lint``."""
+    _REGISTRY[rule_cls.name] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    return dict(_REGISTRY)
+
+
+@dataclass
+class RuleResult:
+    """One rule's outcome after suppressions are applied."""
+
+    rule: str
+    active: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+
+
+def run_rules(
+    project: Project, rules: Iterable[Rule]
+) -> tuple[list[RuleResult], list[Finding]]:
+    """Run rules and fold in suppressions.
+
+    Returns per-rule results plus *meta* findings: suppressions missing
+    the mandatory ``-- <reason>`` justification, and suppressions that
+    silence nothing (stale ones rot into false confidence).
+    """
+    results: list[RuleResult] = []
+    used: set[tuple[str, str, int]] = set()
+    for rule in rules:
+        result = RuleResult(rule=rule.name)
+        for finding in rule.check(project):
+            module = project.get(finding.module)
+            sup = (
+                module.suppression_for(finding.rule, finding.line)
+                if module is not None
+                else None
+            )
+            if sup is None:
+                result.active.append(finding)
+            else:
+                result.suppressed.append((finding, sup))
+                used.add((sup.module, ",".join(sup.rules), sup.line))
+        results.append(result)
+    known = {rule.name for rule in rules}
+    meta: list[Finding] = []
+    for module in project:
+        for sup in module.suppressions:
+            if not any(r in known for r in sup.rules):
+                continue
+            if sup.reason is None:
+                meta.append(
+                    Finding(
+                        rule="suppression-justification",
+                        module=sup.module,
+                        line=sup.line,
+                        message=(
+                            "suppression is missing its justification: write "
+                            "`# lint: disable=<rule> -- <why this is sound>`"
+                        ),
+                    )
+                )
+            elif (sup.module, ",".join(sup.rules), sup.line) not in used:
+                meta.append(
+                    Finding(
+                        rule="stale-suppression",
+                        module=sup.module,
+                        line=sup.line,
+                        message=(
+                            f"suppression for {', '.join(sup.rules)} matches no "
+                            "finding — the invariant holds, drop the comment"
+                        ),
+                    )
+                )
+    return results, meta

@@ -1,0 +1,134 @@
+"""Reporters for ``repro lint``: human text and machine JSON.
+
+The JSON shape (written to ``results/LINT.json`` and uploaded as a CI
+artifact) is stable: rule counts, every active and suppressed finding
+(with its justification), the meta findings, and any rule-provided
+tables (the parity-coverage table).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.report.tables import format_table
+
+from .framework import Finding, Project, Rule, RuleResult
+
+__all__ = ["LintReport", "render_text", "to_payload", "write_json"]
+
+
+class LintReport:
+    """The outcome of one full lint run."""
+
+    def __init__(
+        self,
+        results: list[RuleResult],
+        meta: list[Finding],
+        tables: dict[str, list[dict[str, object]]],
+        module_count: int,
+    ) -> None:
+        self.results = results
+        self.meta = meta
+        self.tables = tables
+        self.module_count = module_count
+
+    @property
+    def active_findings(self) -> list[Finding]:
+        found = [f for r in self.results for f in r.active]
+        found.extend(self.meta)
+        return sorted(found, key=lambda f: (f.module, f.line, f.rule))
+
+    @property
+    def suppressed_count(self) -> int:
+        return sum(len(r.suppressed) for r in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return not self.active_findings
+
+
+def run_report(project: Project, rules: list[Rule]) -> LintReport:
+    from .framework import run_rules
+
+    results, meta = run_rules(project, rules)
+    tables: dict[str, list[dict[str, object]]] = {}
+    for rule in rules:
+        tables.update(rule.tables(project))
+    return LintReport(results, meta, tables, module_count=len(project.modules))
+
+
+def render_text(report: LintReport) -> str:
+    lines: list[str] = []
+    summary_rows = []
+    for result in report.results:
+        summary_rows.append(
+            [result.rule, len(result.active), len(result.suppressed)]
+        )
+    summary_rows.append(["(meta)", len(report.meta), 0])
+    lines.append(
+        format_table(
+            ["rule", "active", "suppressed"],
+            summary_rows,
+            title=f"repro lint — {report.module_count} modules",
+        )
+    )
+    for finding in report.active_findings:
+        lines.append(f"{finding.location()}: [{finding.rule}] {finding.message}")
+    suppressed = [
+        (f, s) for r in report.results for (f, s) in r.suppressed
+    ]
+    if suppressed:
+        lines.append("")
+        lines.append("suppressed:")
+        for finding, sup in sorted(
+            suppressed, key=lambda pair: (pair[0].module, pair[0].line)
+        ):
+            lines.append(
+                f"  {finding.location()}: [{finding.rule}] {finding.message}"
+            )
+            lines.append(f"    justification: {sup.reason}")
+    for name, rows in report.tables.items():
+        if not rows:
+            continue
+        lines.append("")
+        headers = list(rows[0].keys())
+        lines.append(
+            format_table(
+                headers,
+                [[row.get(h, "") for h in headers] for row in rows],
+                title=name,
+            )
+        )
+    lines.append("")
+    verdict = "clean" if report.ok else f"{len(report.active_findings)} finding(s)"
+    lines.append(f"result: {verdict} ({report.suppressed_count} suppressed)")
+    return "\n".join(lines)
+
+
+def to_payload(report: LintReport) -> dict[str, Any]:
+    def finding_dict(f: Finding) -> dict[str, Any]:
+        return {"rule": f.rule, "module": f.module, "line": f.line, "message": f.message}
+
+    return {
+        "modules": report.module_count,
+        "ok": report.ok,
+        "rules": {
+            r.rule: {
+                "active": [finding_dict(f) for f in r.active],
+                "suppressed": [
+                    {**finding_dict(f), "justification": s.reason}
+                    for (f, s) in r.suppressed
+                ],
+            }
+            for r in report.results
+        },
+        "meta": [finding_dict(f) for f in report.meta],
+        "tables": report.tables,
+    }
+
+
+def write_json(report: LintReport, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_payload(report), indent=2, sort_keys=True) + "\n")

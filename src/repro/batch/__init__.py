@@ -49,11 +49,14 @@ from repro.batch.curves import (
     OptimalSpeedupCurve,
     RectangleErrorCurve,
     bus_optimal_area_curve,
+    closed_form_optimal_speedup_async_bus_curve,
+    closed_form_optimal_speedup_sync_bus_curve,
     k_matrix,
     minimal_grid_side_curve,
     optimal_speedup_curve,
     rectangle_error_curves,
     table1_speedup_curve,
+    uses_all_processors_curve,
 )
 from repro.batch.engine import SweepSpec, SweepResult, run_sweep
 from repro.batch.analysis import (
@@ -103,6 +106,9 @@ __all__ = [
     "SweepSpec",
     "axis_chunks",
     "bus_optimal_area_curve",
+    "closed_form_optimal_speedup_async_bus_curve",
+    "closed_form_optimal_speedup_sync_bus_curve",
+    "uses_all_processors_curve",
     "cached_run_sweep",
     "clear_default_cache",
     "configure_default_cache",

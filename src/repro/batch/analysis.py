@@ -68,7 +68,7 @@ __all__ = [
 ]
 
 
-def _libm_log2(values: np.ndarray) -> np.ndarray:
+def _libm_log2(values: np.ndarray) -> np.ndarray:  # lint: disable=vectorization-guard -- deliberate scalar loop: the bit-equality contract needs libm log2 (math.log2); np.log2 may differ by 1 ULP
     """Elementwise ``log2`` through libm (matches scalar ``math.log2``)."""
     arr = np.asarray(values, dtype=float)
     out = np.array([math.log2(v) for v in arr.ravel()])
@@ -292,10 +292,7 @@ def _compute_allocation_curve(
     at_cap = np.abs(best_area - a_min) <= np.maximum(
         1e-9 * np.maximum(np.abs(best_area), np.abs(a_min)), 1e-9
     )
-    regime = tuple(
-        "one" if o else ("all" if cap else "interior")
-        for o, cap in zip(one, at_cap)
-    )
+    regime = tuple(np.where(one, "one", np.where(at_cap, "all", "interior")).tolist())
     return AllocationCurve(
         grid_sides=n.astype(int),
         processors=processors,

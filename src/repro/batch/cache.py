@@ -101,6 +101,16 @@ def _canonical_bus(obj: object) -> object | None:
     return None
 
 
+def _has_stable_repr(obj: object) -> bool:
+    """Whether ``repr(obj)`` is safe to fingerprint.
+
+    The default ``object.__repr__`` prints ``<... at 0x7f...>`` — a
+    memory address, different in every process.  Any class that wants
+    the repr fallback must override ``__repr__`` deterministically.
+    """
+    return type(obj).__repr__ is not object.__repr__
+
+
 def _canonical(obj: object) -> object:
     """A hashable, repr-stable view of a request component.
 
@@ -129,9 +139,17 @@ def _canonical(obj: object) -> object:
     if isinstance(obj, enum.Enum):
         return (type(obj).__qualname__, obj.value)
     if isinstance(obj, Mapping):
+        # Keys go through _canonical too: a raw repr(k) of a key with a
+        # default __repr__ would embed its memory address and split the
+        # fingerprint across processes.
         return (
             "map",
-            tuple(sorted((repr(k), repr(_canonical(v))) for k, v in obj.items())),
+            tuple(
+                sorted(
+                    (repr(_canonical(k)), repr(_canonical(v)))
+                    for k, v in obj.items()
+                )
+            ),
         )
     if isinstance(obj, (list, tuple)):
         return tuple(_canonical(v) for v in obj)
@@ -143,7 +161,14 @@ def _canonical(obj: object) -> object:
         return ("float", repr(obj))
     if obj is None or isinstance(obj, (str, int, bool, bytes)):
         return obj
-    return ("repr", repr(obj))
+    if _has_stable_repr(obj):
+        return ("repr", repr(obj))
+    raise InvalidParameterError(
+        f"cannot fingerprint {type(obj).__qualname__}: it relies on the "
+        "default object.__repr__, which embeds the memory address and "
+        "differs per process — give it a deterministic __repr__ or make "
+        "it a dataclass"
+    )
 
 
 def fingerprint(request: object) -> str:
@@ -283,13 +308,13 @@ class SweepCache:
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             self._sweep_orphaned_tmp_files()
-        self._memory: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        self._memory: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()  # guarded-by: _lock
         # Tier mutations are serialized so threaded consumers (the sweep
         # service handles each HTTP request on its own thread) see
         # consistent LRU order and stats.  Computes never run under the
         # lock — get_or_compute only locks the lookup and the store.
         self._lock = threading.RLock()
-        self.stats = CacheStats()
+        self.stats = CacheStats()  # guarded-by: _lock
 
     # ------------------------------------------------------------- internals
 
@@ -335,7 +360,7 @@ class SweepCache:
     def _entry_nbytes(arrays: Mapping[str, np.ndarray]) -> int:
         return sum(a.nbytes for a in arrays.values())
 
-    def _evict_memory(self, protect: str) -> None:
+    def _evict_memory(self, protect: str) -> None:  # requires-lock: _lock
         """Drop least-recently-used memory entries past ``max_bytes``.
 
         ``protect`` (the entry just stored or fetched) is never evicted
@@ -499,7 +524,19 @@ class SweepCache:
         return self.store(key, compute())
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
+
+    def stats_snapshot(self) -> dict[str, int | dict[str, int]]:
+        """A consistent copy of the counters, taken under the lock.
+
+        Reading ``cache.stats`` field-by-field from another thread can
+        tear — a hit that lands between two reads shows up in ``hits``
+        but not in ``memory_hits``.  Consumers that report stats (the
+        service's ``/v1/stats``) take this snapshot instead.
+        """
+        with self._lock:
+            return self.stats.snapshot()
 
 
 # --------------------------------------------------------------------------

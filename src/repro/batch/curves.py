@@ -23,13 +23,16 @@ from repro.partitioning.rectangles import (
     DEFAULT_PERIMETER_TOLERANCE,
     working_rectangles,
 )
-from repro.stencils.perimeter import PartitionKind
+from repro.stencils.perimeter import PartitionKind, perimeters_required
 from repro.stencils.stencil import Stencil
 
 __all__ = [
     "OptimalSpeedupCurve",
     "optimal_speedup_curve",
     "bus_optimal_area_curve",
+    "closed_form_optimal_speedup_sync_bus_curve",
+    "closed_form_optimal_speedup_async_bus_curve",
+    "uses_all_processors_curve",
     "minimal_grid_side_curve",
     "table1_speedup_curve",
     "k_matrix",
@@ -38,7 +41,7 @@ __all__ = [
 ]
 
 
-def _libm_pow(values: np.ndarray, exponent: float) -> np.ndarray:
+def _libm_pow(values: np.ndarray, exponent: float) -> np.ndarray:  # lint: disable=vectorization-guard -- deliberate scalar loop: the bit-equality contract needs libm pow (math.pow); np.power may differ by 1 ULP on fractional exponents
     """Elementwise ``x ** exponent`` through libm, not NumPy's SIMD pow.
 
     NumPy's vectorized ``power`` can differ from libm's by 1 ULP on
@@ -104,7 +107,7 @@ def bus_optimal_area_curve(
         from repro.core.parameters import Workload
 
         return np.array(
-            [
+            [  # lint: disable=vectorization-guard -- deliberate scalar fallback: bus subclasses with bespoke optimal_area overrides have no broadcast closed form; per-element scalar calls are the bit-equality contract
                 machine.optimal_area(
                     Workload(n=int(nn), stencil=stencil, t_flop=t_flop), kind
                 )
@@ -198,10 +201,7 @@ def optimal_speedup_curve(
     at_cap = np.abs(best_area - a_min) <= np.maximum(
         1e-9 * np.maximum(np.abs(best_area), np.abs(a_min)), 1e-9
     )
-    regime = tuple(
-        "one" if o else ("all" if cap else "interior")
-        for o, cap in zip(one, at_cap)
-    )
+    regime = tuple(np.where(one, "one", np.where(at_cap, "all", "interior")).tolist())
     return OptimalSpeedupCurve(
         grid_sides=n.astype(int),
         speedup=speedup,
@@ -234,6 +234,100 @@ def table1_speedup_curve(
         stencil, t_flop, PartitionKind.SQUARE, n, np.ones_like(n)
     )
     return serial / cycle
+
+
+# --------------------------------------------------------------------------
+# Section-6 closed-form bus speedups and the all-processors test
+# --------------------------------------------------------------------------
+
+
+def closed_form_optimal_speedup_sync_bus_curve(
+    machine: SynchronousBus,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.speedup.closed_form_optimal_speedup_sync_bus`.
+
+    Same operations in the same order as the scalar closed form, with
+    the fractional powers routed through libm (:func:`_libm_pow`) so the
+    transcription stays bit-identical per grid side.
+    """
+    n = np.asarray(grid_sides, dtype=float)
+    if np.any(n < 1):
+        raise InvalidParameterError("grid sides must be >= 1")
+    n2 = n * n
+    n3 = n2 * n  # exact for n³ < 2^53, matching the scalar int n**3
+    et = stencil.flops_per_point * t_flop
+    serial = stencil.flops_per_point * n2 * t_flop
+    k = perimeters_required(kind, stencil)
+    v = 2.0 * (2 if machine.volume_mode == "read_write" else 1)
+    if kind is PartitionKind.STRIP:
+        t_star = 2.0 * np.sqrt(et * v * k * machine.b * n3) + v * k * machine.c * n
+        return serial / t_star
+    if machine.c != 0.0:
+        raise InvalidParameterError(
+            "closed-form square optimal speedup requires c = 0; "
+            "use optimal_speedup() for the general case"
+        )
+    t_star = 3.0 * et ** (1.0 / 3.0) * _libm_pow(v * k * machine.b * n2, 2.0 / 3.0)
+    return serial / t_star
+
+
+def closed_form_optimal_speedup_async_bus_curve(
+    machine: AsynchronousBus,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.speedup.closed_form_optimal_speedup_async_bus`.
+
+    The optimal side ``ŝ`` and both ``t*`` expressions follow the scalar
+    transcription exactly; ``ŝ²`` goes through libm because the scalar
+    path squares with Python's ``**``.
+    """
+    n = np.asarray(grid_sides, dtype=float)
+    if np.any(n < 1):
+        raise InvalidParameterError("grid sides must be >= 1")
+    n2 = n * n
+    n3 = n2 * n  # exact for n³ < 2^53, matching the scalar int n**3
+    et = stencil.flops_per_point * t_flop
+    serial = stencil.flops_per_point * n2 * t_flop
+    k = perimeters_required(kind, stencil)
+    if kind is PartitionKind.STRIP:
+        t_star = (
+            2.0 * np.sqrt(2.0 * k * machine.b * et * n3) + 2.0 * k * machine.c * n
+        )
+        return serial / t_star
+    s_hat = _libm_pow(4.0 * k * machine.b * n2 / et, 1.0 / 3.0)
+    t_star = 2.0 * et * _libm_pow(s_hat, 2.0) + 4.0 * k * machine.c * s_hat
+    return serial / t_star
+
+
+def uses_all_processors_curve(
+    machine: BusArchitecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    grid_sides: Sequence[int],
+    n_processors: int,
+    t_flop: float = DEFAULT_T_FLOP,
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.minimal_size.uses_all_processors`.
+
+    Inequalities (4)/(6) over the grid-side axis: element ``i`` is True
+    iff the continuous optimal area at ``grid_sides[i]`` is at most
+    ``n²/N`` — the same comparison the scalar test makes, with the
+    optimal areas from :func:`bus_optimal_area_curve`.
+    """
+    if n_processors < 1:
+        raise InvalidParameterError("n_processors must be >= 1")
+    n = np.asarray(grid_sides, dtype=float)
+    if np.any(n < 1):
+        raise InvalidParameterError("grid sides must be >= 1")
+    optimal = bus_optimal_area_curve(machine, stencil, kind, grid_sides, t_flop)
+    return optimal <= (n * n) / float(n_processors)
 
 
 # --------------------------------------------------------------------------

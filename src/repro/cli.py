@@ -599,6 +599,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze import lint_tree, render_text, write_json
+
+    report = lint_tree()
+    if args.format == "json":
+        output = args.output if args.output is not None else Path("results/LINT.json")
+        write_json(report, output)
+        print(f"wrote {output} ({'clean' if report.ok else 'FINDINGS'})")
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -738,6 +751,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a cold request waits to micro-batch compatible traffic",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static invariant checks over the repro source tree",
+        description=(
+            "Run the repo's own AST analyzer: fingerprint purity, lock "
+            "discipline, vectorization guard, and parity coverage. "
+            "Exits 0 only when no unsuppressed finding remains."
+        ),
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    lint.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="JSON output path (default results/LINT.json; json format only)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -22,13 +22,11 @@ the optimizer directly, and the tests check both paths agree.
 from __future__ import annotations
 
 import math
-from typing import Callable
 
-from repro.core.allocation import optimize_allocation
 from repro.core.parameters import Workload
 from repro.errors import InvalidParameterError
 from repro.machines.base import Architecture
-from repro.machines.bus import AsynchronousBus, BusArchitecture, SynchronousBus
+from repro.machines.bus import BusArchitecture, SynchronousBus
 from repro.stencils.perimeter import PartitionKind
 
 __all__ = [

@@ -166,7 +166,7 @@ class NumpyExecutor(Executor):
             }
         if op == "sweep":
             spec = dataclasses.replace(
-                args["spec"], grid_sides=tuple(int(v) for v in axis)
+                args["spec"], grid_sides=tuple(int(v) for v in axis.tolist())
             )
             return dict(run_sweep(spec).cycle_times)
         if op == "plan_grid":
@@ -279,7 +279,7 @@ class OracleExecutor(Executor):
             }
         if op == "sweep":
             spec = dataclasses.replace(
-                args["spec"], grid_sides=tuple(int(v) for v in axis)
+                args["spec"], grid_sides=tuple(int(v) for v in axis.tolist())
             )
             surfaces: dict[str, np.ndarray] = {}
             for name, machine in spec.machines:
@@ -310,7 +310,7 @@ class OracleExecutor(Executor):
         raise InvalidParameterError(f"oracle executor: unknown graph op {op!r}")
 
 
-def _plan_kinds():
+def _plan_kinds() -> tuple:
     from repro.stencils.perimeter import PartitionKind
 
     return (PartitionKind.STRIP, PartitionKind.SQUARE)

@@ -9,7 +9,7 @@ and perimeters — which is exactly the paper's abstraction boundary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import DecompositionError
 from repro.partitioning.partition import Partition

@@ -104,7 +104,7 @@ def bar_chart(
     if not values:
         raise ValueError("need at least one bar")
     v_max = max(values)
-    label_strs = [str(l) for l in labels]
+    label_strs = [str(lab) for lab in labels]
     label_w = max(len(s) for s in label_strs)
     lines = []
     if title:

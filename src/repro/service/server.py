@@ -191,7 +191,10 @@ class SweepServer:
         # traffic (runner workers) also moves the cache's own hit
         # counters, which would make a hits/requests quotient meaningless.
         dedup = counters["hits"] + counters["coalesced"] + counters["batched"]
-        snapshot = self.cache.stats.snapshot()
+        # A locked snapshot, not a field-by-field read of cache.stats: a
+        # concurrent compute landing mid-read would tear the counters
+        # (hits moved but misses not yet, dedup ratio off by one).
+        snapshot = self.cache.stats_snapshot()
         return {
             "uptime_s": time.time() - self.started,
             "cache": snapshot,

@@ -25,7 +25,7 @@ multiplier the E-ABL-PLACEMENT ablation reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -28,9 +28,8 @@ import numpy as np
 
 from repro.errors import ConvergenceError, InvalidParameterError
 from repro.partitioning.decomposition import Decomposition
-from repro.partitioning.partition import Partition
 from repro.solver.convergence import CheckSchedule, Criterion, InfNormCriterion
-from repro.solver.grid import GridField, domain_coordinates
+from repro.solver.grid import GridField
 from repro.solver.jacobi import JacobiResult
 from repro.solver.problems import ModelProblem
 from repro.stencils.apply import apply_stencil_into

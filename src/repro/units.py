@@ -10,7 +10,6 @@ ratio of times.
 
 from __future__ import annotations
 
-import math
 
 __all__ = [
     "MICROSECOND",

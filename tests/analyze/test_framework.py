@@ -1,0 +1,111 @@
+"""The analyzer chassis: parsing, suppressions, annotations, meta findings."""
+
+from __future__ import annotations
+
+from repro.analyze import Finding, Project, Rule, run_rules
+
+
+class _StubRule(Rule):
+    """Emits a fixed list of findings, for exercising the chassis."""
+
+    name = "stub-rule"
+    description = "test stub"
+
+    def __init__(self, findings):
+        self._findings = findings
+
+    def check(self, project):
+        return list(self._findings)
+
+
+class TestSourceModule:
+    def test_comments_come_from_tokenizer_not_substring_search(self):
+        project = Project.from_sources(
+            {"m": 'x = "# not a comment"\ny = 1  # real comment\n'}
+        )
+        module = project.get("m")
+        assert module.comment_on(1) is None
+        assert module.comment_on(2) == "# real comment"
+
+    def test_guarded_by_annotation_parses(self):
+        project = Project.from_sources(
+            {"m": "class C:\n    def __init__(self):\n        self.x = {}  # guarded-by: _lock\n"}
+        )
+        assert project.get("m").guarded_by(3) == "_lock"
+        assert project.get("m").guarded_by(2) is None
+
+    def test_requires_lock_on_def_line_and_line_above(self):
+        source = (
+            "class C:\n"
+            "    def a(self):  # requires-lock: _lock\n"
+            "        pass\n"
+            "    # requires-lock: _other\n"
+            "    def b(self):\n"
+            "        pass\n"
+        )
+        project = Project.from_sources({"m": source})
+        module = project.get("m")
+        import ast
+
+        cls = module.tree.body[0]
+        a, b = cls.body
+        assert isinstance(a, ast.FunctionDef)
+        assert module.requires_lock(a) == "_lock"
+        assert module.requires_lock(b) == "_other"
+
+
+class TestSuppressions:
+    def test_line_suppression_covers_only_its_line(self):
+        source = "x = 1  # lint: disable=stub-rule -- known-good\ny = 2\n"
+        project = Project.from_sources({"m": source})
+        rule = _StubRule(
+            [
+                Finding("stub-rule", "m", 1, "on suppressed line"),
+                Finding("stub-rule", "m", 2, "on clean line"),
+            ]
+        )
+        results, meta = run_rules(project, [rule])
+        assert [f.line for f in results[0].active] == [2]
+        assert [f.line for (f, _s) in results[0].suppressed] == [1]
+        assert meta == []
+
+    def test_def_line_suppression_covers_the_whole_scope(self):
+        source = (
+            "def f():  # lint: disable=stub-rule -- whole function is special\n"
+            "    a = 1\n"
+            "    b = 2\n"
+        )
+        project = Project.from_sources({"m": source})
+        rule = _StubRule([Finding("stub-rule", "m", 3, "inside the scope")])
+        results, _meta = run_rules(project, [rule])
+        assert results[0].active == []
+        assert len(results[0].suppressed) == 1
+
+    def test_missing_justification_is_a_meta_finding(self):
+        source = "x = 1  # lint: disable=stub-rule\n"
+        project = Project.from_sources({"m": source})
+        rule = _StubRule([Finding("stub-rule", "m", 1, "whatever")])
+        _results, meta = run_rules(project, [rule])
+        assert [m.rule for m in meta] == ["suppression-justification"]
+
+    def test_stale_suppression_is_a_meta_finding(self):
+        source = "x = 1  # lint: disable=stub-rule -- no longer needed\n"
+        project = Project.from_sources({"m": source})
+        _results, meta = run_rules(project, [_StubRule([])])
+        assert [m.rule for m in meta] == ["stale-suppression"]
+
+    def test_suppression_for_unknown_rule_is_ignored(self):
+        # A suppression naming a rule outside this run must not produce
+        # stale-suppression noise (partial rule runs are legitimate).
+        source = "x = 1  # lint: disable=other-rule -- for some other run\n"
+        project = Project.from_sources({"m": source})
+        _results, meta = run_rules(project, [_StubRule([])])
+        assert meta == []
+
+    def test_multi_rule_suppression(self):
+        source = "x = 1  # lint: disable=stub-rule,other -- both justified\n"
+        project = Project.from_sources({"m": source})
+        rule = _StubRule([Finding("stub-rule", "m", 1, "hit")])
+        results, meta = run_rules(project, [rule])
+        assert results[0].active == []
+        assert meta == []

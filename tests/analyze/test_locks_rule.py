@@ -1,0 +1,169 @@
+"""lock-discipline on synthetic classes: inference, annotations, call sites."""
+
+from __future__ import annotations
+
+from repro.analyze import Project
+from repro.analyze.locks import LockRule
+
+
+def _run(sources):
+    return LockRule().check(Project.from_sources(sources))
+
+
+_BASE = (
+    "import threading\n"
+    "class Cache:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._data = {}\n"
+)
+
+
+class TestGuardInference:
+    def test_mutation_under_lock_teaches_the_guard(self):
+        source = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data[k] = v\n"
+            "    def peek(self, k):\n"
+            "        return self._data.get(k)\n"
+        )
+        findings = _run({"m": source})
+        assert len(findings) == 1
+        assert "peek" in findings[0].message
+        assert "_data" in findings[0].message
+
+    def test_reads_inside_the_lock_are_clean(self):
+        source = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data[k] = v\n"
+            "    def get(self, k):\n"
+            "        with self._lock:\n"
+            "            return self._data.get(k)\n"
+        )
+        assert _run({"m": source}) == []
+
+    def test_init_is_exempt_from_the_guard(self):
+        source = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data[k] = v\n"
+        )
+        # __init__ assigns self._data with no lock held — not a finding.
+        assert _run({"m": source}) == []
+
+    def test_augmented_assignment_outside_lock_is_flagged(self):
+        source = (
+            "import threading\n"
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.total = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.total += 1\n"
+            "    def racy_bump(self):\n"
+            "        self.total += 1\n"
+        )
+        findings = _run({"m": source})
+        assert len(findings) == 1
+        assert "racy_bump" in findings[0].message
+
+    def test_mutator_method_call_counts_as_mutation(self):
+        source = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data.update({k: v})\n"
+            "    def racy_clear(self):\n"
+            "        self._data.clear()\n"
+        )
+        findings = _run({"m": source})
+        assert [1 for f in findings if "racy_clear" in f.message]
+
+
+class TestAnnotations:
+    def test_guarded_by_annotation_declares_the_guard(self):
+        source = (
+            "import threading\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.stats = {}  # guarded-by: _lock\n"
+            "    def read(self):\n"
+            "        return self.stats\n"
+        )
+        findings = _run({"m": source})
+        assert len(findings) == 1
+        assert "stats" in findings[0].message
+
+    def test_requires_lock_body_is_checked_as_held(self):
+        source = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data[k] = v\n"
+            "            self._evict()\n"
+            "    def _evict(self):  # requires-lock: _lock\n"
+            "        self._data.popitem()\n"
+        )
+        assert _run({"m": source}) == []
+
+    def test_requires_lock_call_site_without_lock_is_flagged(self):
+        source = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data[k] = v\n"
+            "    def _evict(self):  # requires-lock: _lock\n"
+            "        self._data.popitem()\n"
+            "    def racy(self):\n"
+            "        self._evict()\n"
+        )
+        findings = _run({"m": source})
+        assert len(findings) == 1
+        assert "racy" in findings[0].message
+        assert "requires-lock" in findings[0].message
+
+
+class TestCrossObject:
+    def test_guarded_attribute_of_owned_instance_is_checked(self):
+        cache = _BASE + (
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._data[k] = v\n"
+        )
+        server = (
+            "import threading\n"
+            "from m import Cache\n"
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self.cache = Cache()\n"
+            "    def racy_stats(self):\n"
+            "        return self.cache._data\n"
+            "    def safe_stats(self):\n"
+            "        with self.cache._lock:\n"
+            "            return self.cache._data\n"
+        )
+        findings = _run({"m": cache, "srv": server})
+        assert len(findings) == 1
+        assert "racy_stats" in findings[0].message
+        assert "cache._lock" in findings[0].message
+
+
+class TestConflicts:
+    def test_attribute_guarded_by_two_locks_is_a_finding(self):
+        source = (
+            "import threading\n"
+            "class Confused:\n"
+            "    def __init__(self):\n"
+            "        self._a = threading.Lock()\n"
+            "        self._b = threading.Lock()\n"
+            "        self.items = []\n"
+            "    def via_a(self):\n"
+            "        with self._a:\n"
+            "            self.items.append(1)\n"
+            "    def via_b(self):\n"
+            "        with self._b:\n"
+            "            self.items.append(2)\n"
+        )
+        findings = _run({"m": source})
+        assert any("multiple" in f.message for f in findings)

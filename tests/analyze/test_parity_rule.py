@@ -1,0 +1,151 @@
+"""parity-coverage on synthetic trees: pairing, exemptions, machines."""
+
+from __future__ import annotations
+
+from repro.analyze import Project
+from repro.analyze.parity import ParityRule
+
+_CORE = (
+    "__all__ = ['alpha', 'beta', 'gamma']\n"
+    "def alpha(x):\n"
+    "    return x\n"
+    "def beta(x):\n"
+    "    return x\n"
+    "def gamma(x):\n"
+    "    return x\n"
+    "def _private(x):\n"
+    "    return x\n"
+)
+
+
+class TestPairing:
+    def test_unaccounted_public_function_is_flagged(self):
+        project = Project.from_sources({"repro.core.fake": _CORE})
+        rule = ParityRule(pairs={}, exempt={})
+        findings = rule.check(project)
+        assert sorted(f.message.split()[3] for f in findings) == [
+            "alpha", "beta", "gamma"
+        ]
+
+    def test_private_functions_are_not_in_the_universe(self):
+        project = Project.from_sources({"repro.core.fake": _CORE})
+        findings = ParityRule(pairs={}, exempt={}).check(project)
+        assert not any("_private" in f.message for f in findings)
+
+    def test_paired_function_with_existing_twin_is_clean(self):
+        project = Project.from_sources(
+            {
+                "repro.core.fake": _CORE,
+                "repro.batch.fake": "def alpha_curve(xs):\n    return xs\n",
+            }
+        )
+        rule = ParityRule(
+            pairs={"alpha": "alpha_curve"},
+            exempt={"beta": "array-native", "gamma": "diagnostic"},
+        )
+        assert rule.check(project) == []
+
+    def test_registered_twin_missing_from_tree_is_flagged(self):
+        project = Project.from_sources({"repro.core.fake": _CORE})
+        rule = ParityRule(
+            pairs={"alpha": "alpha_curve"},
+            exempt={"beta": "array-native", "gamma": "diagnostic"},
+        )
+        findings = rule.check(project)
+        assert len(findings) == 1
+        assert "no function of that name" in findings[0].message
+
+    def test_twin_functions_account_for_themselves(self):
+        source = (
+            "__all__ = ['alpha', 'alpha_curve']\n"
+            "def alpha(x):\n"
+            "    return x\n"
+            "def alpha_curve(xs):\n"
+            "    return xs\n"
+        )
+        project = Project.from_sources({"repro.core.fake": source})
+        rule = ParityRule(pairs={"alpha": "alpha_curve"}, exempt={})
+        assert rule.check(project) == []
+
+    def test_missing_test_mention_is_flagged_when_tests_root_given(self, tmp_path):
+        (tmp_path / "test_other.py").write_text("def test_nothing():\n    pass\n")
+        project = Project.from_sources(
+            {
+                "repro.core.fake": "__all__ = ['alpha']\ndef alpha(x):\n    return x\n",
+                "repro.batch.fake": "def alpha_curve(xs):\n    return xs\n",
+            }
+        )
+        rule = ParityRule(
+            pairs={"alpha": "alpha_curve"}, exempt={}, tests_root=tmp_path
+        )
+        findings = rule.check(project)
+        assert len(findings) == 1
+        assert "no test file mentions the twin" in findings[0].message
+
+    def test_test_mention_satisfies_the_rule(self, tmp_path):
+        (tmp_path / "test_twins.py").write_text(
+            "from repro.batch.fake import alpha_curve\n"
+        )
+        project = Project.from_sources(
+            {
+                "repro.core.fake": "__all__ = ['alpha']\ndef alpha(x):\n    return x\n",
+                "repro.batch.fake": "def alpha_curve(xs):\n    return xs\n",
+            }
+        )
+        rule = ParityRule(
+            pairs={"alpha": "alpha_curve"}, exempt={}, tests_root=tmp_path
+        )
+        assert rule.check(project) == []
+
+
+class TestMachines:
+    def test_grid_method_without_scalar_counterpart_is_flagged(self):
+        source = (
+            "class Machine:\n"
+            "    def volume_grid(self, n):\n"
+            "        return n\n"
+        )
+        project = Project.from_sources({"repro.machines.fake": source})
+        findings = ParityRule(pairs={}, exempt={}).check(project)
+        assert len(findings) == 1
+        assert "volume_grid" in findings[0].message
+
+    def test_scalar_counterpart_may_come_from_a_base_class(self):
+        source = (
+            "class Base:\n"
+            "    def volume(self, n):\n"
+            "        return n\n"
+            "class Machine(Base):\n"
+            "    def volume_grid(self, n):\n"
+            "        return n\n"
+        )
+        project = Project.from_sources({"repro.machines.fake": source})
+        assert ParityRule(pairs={}, exempt={}).check(project) == []
+
+    def test_private_grid_helpers_are_not_twins(self):
+        source = (
+            "class Machine:\n"
+            "    def _volume_grid(self, n):\n"
+            "        return n\n"
+        )
+        project = Project.from_sources({"repro.machines.fake": source})
+        assert ParityRule(pairs={}, exempt={}).check(project) == []
+
+
+class TestCoverageTable:
+    def test_every_universe_function_gets_a_row(self):
+        project = Project.from_sources(
+            {
+                "repro.core.fake": _CORE,
+                "repro.batch.fake": "def alpha_curve(xs):\n    return xs\n",
+            }
+        )
+        rule = ParityRule(
+            pairs={"alpha": "alpha_curve"},
+            exempt={"beta": "array-native"},
+        )
+        rows = rule.tables(project)["parity coverage"]
+        by_name = {r["function"]: r for r in rows}
+        assert by_name["alpha"]["status"] == "paired"
+        assert by_name["beta"]["status"] == "exempt"
+        assert by_name["gamma"]["status"] == "UNPAIRED"

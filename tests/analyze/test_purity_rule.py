@@ -1,0 +1,147 @@
+"""fingerprint-purity on synthetic trees: reachability and repr guards."""
+
+from __future__ import annotations
+
+from repro.analyze import Project
+from repro.analyze.purity import PurityRule
+
+
+def _run(sources, roots):
+    project = Project.from_sources(sources)
+    return PurityRule(roots=roots).check(project)
+
+
+class TestReachability:
+    def test_impure_call_in_reachable_function_is_flagged(self):
+        sources = {
+            "pkg.cache": (
+                "import time\n"
+                "def helper():\n"
+                "    return time.time()\n"
+                "def fingerprint(x):\n"
+                "    return helper()\n"
+            )
+        }
+        findings = _run(sources, ["pkg.cache:fingerprint"])
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_impure_call_outside_the_reachable_set_is_not_flagged(self):
+        sources = {
+            "pkg.cache": (
+                "import time\n"
+                "def unrelated():\n"
+                "    return time.time()\n"
+                "def fingerprint(x):\n"
+                "    return repr(str(x))\n"
+            )
+        }
+        assert _run(sources, ["pkg.cache:fingerprint"]) == []
+
+    def test_reachability_crosses_modules_through_imports(self):
+        sources = {
+            "pkg.cache": (
+                "from pkg.util import salt\n"
+                "def fingerprint(x):\n"
+                "    return salt(x)\n"
+            ),
+            "pkg.util": (
+                "import random\n"
+                "def salt(x):\n"
+                "    return random.random()\n"
+            ),
+        }
+        findings = _run(sources, ["pkg.cache:fingerprint"])
+        assert len(findings) == 1
+        assert findings[0].module == "pkg.util"
+
+    def test_method_roots_follow_self_calls(self):
+        sources = {
+            "pkg.cache": (
+                "import uuid\n"
+                "class Cache:\n"
+                "    def store(self, k):\n"
+                "        return self._tag()\n"
+                "    def _tag(self):\n"
+                "        return uuid.uuid4()\n"
+            )
+        }
+        findings = _run(sources, ["pkg.cache:Cache.store"])
+        assert len(findings) == 1
+        assert "uuid" in findings[0].message
+
+    def test_id_and_environ_are_flagged(self):
+        sources = {
+            "pkg.cache": (
+                "import os\n"
+                "def fingerprint(x):\n"
+                "    a = id(x)\n"
+                "    b = os.environ['HOME']\n"
+                "    return (a, b)\n"
+            )
+        }
+        findings = _run(sources, ["pkg.cache:fingerprint"])
+        rules = sorted(f.message for f in findings)
+        assert any("id()" in m for m in rules)
+        assert any("os.environ" in m for m in rules)
+
+
+class TestReprGuards:
+    def test_unguarded_repr_of_name_is_flagged(self):
+        sources = {
+            "pkg.cache": "def fingerprint(x):\n    return repr(x)\n"
+        }
+        findings = _run(sources, ["pkg.cache:fingerprint"])
+        assert len(findings) == 1
+        assert "repr(x)" in findings[0].message
+
+    def test_isinstance_guard_blesses_the_repr(self):
+        sources = {
+            "pkg.cache": (
+                "def fingerprint(x):\n"
+                "    if isinstance(x, float):\n"
+                "        return repr(x)\n"
+                "    return str(x)\n"
+            )
+        }
+        assert _run(sources, ["pkg.cache:fingerprint"]) == []
+
+    def test_stable_repr_predicate_blesses_the_repr(self):
+        sources = {
+            "pkg.cache": (
+                "def _has_stable_repr(o):\n"
+                "    return type(o).__repr__ is not object.__repr__\n"
+                "def fingerprint(x):\n"
+                "    if _has_stable_repr(x):\n"
+                "        return repr(x)\n"
+                "    raise ValueError\n"
+            )
+        }
+        assert _run(sources, ["pkg.cache:fingerprint"]) == []
+
+    def test_guard_does_not_leak_into_the_else_branch(self):
+        sources = {
+            "pkg.cache": (
+                "def fingerprint(x):\n"
+                "    if isinstance(x, float):\n"
+                "        return str(x)\n"
+                "    return repr(x)\n"
+            )
+        }
+        findings = _run(sources, ["pkg.cache:fingerprint"])
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_repr_of_call_result_is_the_callees_responsibility(self):
+        sources = {
+            "pkg.cache": (
+                "def _canonical(x):\n"
+                "    if isinstance(x, int):\n"
+                "        return x\n"
+                "    raise ValueError\n"
+                "def fingerprint(x):\n"
+                "    return repr(_canonical(x))\n"
+            )
+        }
+        assert _run(sources, ["pkg.cache:fingerprint"]) == []

@@ -57,6 +57,23 @@ class TestFingerprint:
         digests = {fingerprint(base)} | {fingerprint(v) for v in variants}
         assert len(digests) == 4
 
+    def test_rejects_objects_with_default_repr(self):
+        # The default object.__repr__ embeds the memory address, so two
+        # identical requests would fingerprint differently across runs —
+        # the nondeterminism the fingerprint-purity lint rule guards.
+        class Opaque:
+            pass
+
+        with pytest.raises(InvalidParameterError, match="cannot fingerprint"):
+            fingerprint(("op", Opaque()))
+
+    def test_accepts_objects_with_stable_repr(self):
+        class Labelled:
+            def __repr__(self) -> str:
+                return "Labelled(7)"
+
+        assert fingerprint(("op", Labelled())) == fingerprint(("op", Labelled()))
+
 
 class TestSweepCacheLevels:
     def test_memory_hit_returns_identical_arrays(self, tmp_path):

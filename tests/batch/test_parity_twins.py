@@ -1,0 +1,150 @@
+"""Bit-equality between scalar closed forms and their vectorized twins.
+
+These are the tests the ``parity-coverage`` lint rule demands: each pair
+is exercised with the twin's name spelled out, and equality is exact
+(``==``, not allclose) because the twins transcribe the scalar
+floating-point operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch.analysis import _admissible_range_grid
+from repro.batch.curves import (
+    closed_form_optimal_speedup_async_bus_curve,
+    closed_form_optimal_speedup_sync_bus_curve,
+    uses_all_processors_curve,
+)
+from repro.core.allocation import admissible_area_range
+from repro.core.minimal_size import uses_all_processors
+from repro.core.parameters import Workload
+from repro.core.scaling import optimal_speedup_sweep
+from repro.core.speedup import (
+    closed_form_optimal_speedup_async_bus,
+    closed_form_optimal_speedup_sync_bus,
+    fixed_machine_speedup,
+    speedup_at_processors,
+    speedup_curve,
+)
+from repro.batch.curves import optimal_speedup_curve
+from repro.errors import InvalidParameterError
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
+from repro.stencils.perimeter import PartitionKind
+
+SIDES = [8, 16, 57, 128, 256, 777, 1024, 4096]
+
+
+class TestClosedFormBusSpeedups:
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    @pytest.mark.parametrize("stencil", [FIVE_POINT, NINE_POINT_BOX])
+    def test_sync_curve_matches_scalar_bitwise(self, kind, stencil, sync_bus):
+        curve = closed_form_optimal_speedup_sync_bus_curve(
+            sync_bus, stencil, kind, SIDES
+        )
+        for i, n in enumerate(SIDES):
+            w = Workload(n=n, stencil=stencil)
+            assert curve[i] == closed_form_optimal_speedup_sync_bus(sync_bus, w, kind)
+
+    def test_sync_strip_with_latency_matches_scalar_bitwise(self):
+        machine = SynchronousBus(b=6.1e-6, c=3.2e-4)
+        curve = closed_form_optimal_speedup_sync_bus_curve(
+            machine, FIVE_POINT, PartitionKind.STRIP, SIDES
+        )
+        for i, n in enumerate(SIDES):
+            w = Workload(n=n, stencil=FIVE_POINT)
+            assert curve[i] == closed_form_optimal_speedup_sync_bus(
+                machine, w, PartitionKind.STRIP
+            )
+
+    def test_sync_square_with_latency_raises_like_the_scalar(self):
+        machine = SynchronousBus(b=6.1e-6, c=3.2e-4)
+        with pytest.raises(InvalidParameterError, match="requires c = 0"):
+            closed_form_optimal_speedup_sync_bus(
+                machine, Workload(n=64, stencil=FIVE_POINT), PartitionKind.SQUARE
+            )
+        with pytest.raises(InvalidParameterError, match="requires c = 0"):
+            closed_form_optimal_speedup_sync_bus_curve(
+                machine, FIVE_POINT, PartitionKind.SQUARE, SIDES
+            )
+
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    @pytest.mark.parametrize("c", [0.0, 3.2e-4])
+    def test_async_curve_matches_scalar_bitwise(self, kind, c):
+        machine = AsynchronousBus(b=6.1e-6, c=c)
+        curve = closed_form_optimal_speedup_async_bus_curve(
+            machine, FIVE_POINT, kind, SIDES
+        )
+        for i, n in enumerate(SIDES):
+            w = Workload(n=n, stencil=FIVE_POINT)
+            assert curve[i] == closed_form_optimal_speedup_async_bus(machine, w, kind)
+
+    def test_rejects_grid_sides_below_one(self, sync_bus):
+        with pytest.raises(InvalidParameterError):
+            closed_form_optimal_speedup_sync_bus_curve(
+                sync_bus, FIVE_POINT, PartitionKind.STRIP, [0, 8]
+            )
+
+
+class TestUsesAllProcessors:
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    @pytest.mark.parametrize("n_processors", [1, 16, 100, 4096])
+    def test_curve_matches_scalar(self, kind, n_processors, sync_bus, async_bus):
+        for machine in (sync_bus, async_bus):
+            curve = uses_all_processors_curve(
+                machine, FIVE_POINT, kind, SIDES, n_processors
+            )
+            assert curve.dtype == bool
+            for i, n in enumerate(SIDES):
+                w = Workload(n=n, stencil=FIVE_POINT)
+                assert bool(curve[i]) == uses_all_processors(
+                    machine, w, kind, n_processors
+                )
+
+    def test_rejects_bad_processor_count(self, sync_bus):
+        with pytest.raises(InvalidParameterError):
+            uses_all_processors_curve(
+                sync_bus, FIVE_POINT, PartitionKind.STRIP, SIDES, 0
+            )
+
+
+class TestAdmissibleRange:
+    @pytest.mark.parametrize("kind", list(PartitionKind))
+    @pytest.mark.parametrize("max_processors", [None, 4.0, 64.0])
+    def test_grid_matches_scalar_range(self, kind, max_processors):
+        n = np.asarray(SIDES, dtype=float)
+        a_min, a_max = _admissible_range_grid(n, n * n, kind, max_processors)
+        for i, side in enumerate(SIDES):
+            w = Workload(n=side, stencil=FIVE_POINT)
+            lo, hi = admissible_area_range(w, kind, max_processors=max_processors)
+            assert a_min[i] == lo
+            assert a_max[i] == hi
+
+
+class TestSweepAndFixedMachineTwins:
+    def test_optimal_speedup_sweep_matches_curve(self, sync_bus, workload_256):
+        n2, sp = optimal_speedup_sweep(
+            sync_bus, workload_256, PartitionKind.SQUARE, SIDES
+        )
+        curve = optimal_speedup_curve(
+            sync_bus, FIVE_POINT, PartitionKind.SQUARE, SIDES
+        )
+        assert n2.tolist() == (curve.grid_sides.astype(float) ** 2).tolist()
+        assert sp.tolist() == curve.speedup.tolist()
+
+    def test_speedup_at_processors_matches_speedup_curve(self, sync_bus, workload_256):
+        processors = [1.0, 2.0, 7.0, 64.0, 256.0]
+        curve = speedup_curve(sync_bus, workload_256, PartitionKind.SQUARE, processors)
+        for i, p in enumerate(processors):
+            assert curve[i] == speedup_at_processors(
+                sync_bus, workload_256, PartitionKind.SQUARE, p
+            )
+
+    def test_fixed_machine_speedup_matches_speedup_curve(self, sync_bus, workload_256):
+        p = 64.0
+        curve = speedup_curve(sync_bus, workload_256, PartitionKind.SQUARE, [p])
+        assert curve[0] == fixed_machine_speedup(
+            sync_bus, workload_256, PartitionKind.SQUARE, p
+        )

@@ -495,3 +495,34 @@ class TestServeSubcommand:
                 process.kill()
                 raise
         assert process.returncode == 0
+
+
+class TestLintSubcommand:
+    def test_text_mode_reports_clean_tree(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "repro lint" in out
+        assert "fingerprint-purity" in out
+        assert "parity coverage" in out
+
+    def test_json_mode_writes_report_file(self, capsys, tmp_path):
+        target = tmp_path / "LINT.json"
+        assert main(["lint", "--format", "json", "--output", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert str(target) in out
+        assert "clean" in out
+        import json as _json
+
+        payload = _json.loads(target.read_text())
+        assert payload["ok"] is True
+        assert set(payload["rules"]) == {
+            "fingerprint-purity",
+            "lock-discipline",
+            "parity-coverage",
+            "vectorization-guard",
+        }
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.format == "text"
+        assert args.output is None
