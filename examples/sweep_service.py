@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""The sweep daemon over the wire: negotiation, pooling, and the wire tax.
+
+Starts an in-process `repro serve` daemon and walks the client surface:
+
+1. *Protocol negotiation* — the default client asks for the zero-copy
+   binary frame (`Accept: application/x-repro-frame`) and falls back
+   to base64-JSON transparently; both paths return bit-identical
+   arrays, and `/healthz` advertises what the daemon speaks.
+2. *Connection-pool knobs* — `pool_size` keep-alive sockets shared by
+   threads, `retries`/`backoff_s` for transient transport errors, and
+   the `retry_non_idempotent` opt-in that `RemoteSweepCache` uses for
+   its content-addressed PUTs.
+3. *The wire tax* — warm-hit latency over the frame, over forced
+   JSON, and for the direct in-process call, the numbers
+   `benchmarks/bench_service.py` gates at ≤ 2x direct.
+
+Run:  python examples/sweep_service.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.batch import SweepCache, optimal_allocation_curve
+from repro.machines.catalog import PAPER_BUS
+from repro.service import RemoteSweepCache, ServiceClient, SweepServer
+from repro.stencils.library import FIVE_POINT
+from repro.stencils.perimeter import PartitionKind
+
+SIDES = list(range(64, 1064, 4))
+
+
+def negotiation(server: SweepServer) -> None:
+    binary = ServiceClient(server.url)  # binary=True is the default
+    legacy = ServiceClient(server.url, binary=False)  # force base64-JSON
+
+    print("healthz protocols:", binary.health()["protocols"])
+    a = binary.allocation_curve("paper-bus", "5-point", "square", SIDES, integer=True)
+    b = legacy.allocation_curve("paper-bus", "5-point", "square", SIDES, integer=True)
+    print(f"binary client spoke: {binary.last_protocol}  (served: {binary.last_served})")
+    print(f"legacy client spoke: {legacy.last_protocol}  (served: {legacy.last_served})")
+    identical = a.speedup.tobytes() == b.speedup.tobytes()
+    print(f"frame and JSON answers bit-identical: {identical}")
+
+
+def pool_knobs(server: SweepServer) -> None:
+    # One client, shared by threads: pool_size keep-alive connections,
+    # each with TCP_NODELAY; stale sockets are replayed invisibly, and
+    # transient errors retry with exponential backoff (retries attempts
+    # of backoff_s, 2*backoff_s, ...).  PUTs are exempt from retry
+    # unless the caller opts in.
+    client = ServiceClient(
+        server.url,
+        pool_size=2,  # keep-alive sockets kept open (default 4)
+        retries=3,  # transient-error retry budget (default 2)
+        backoff_s=0.02,  # first backoff; doubles per retry (default 0.05)
+        retry_non_idempotent=False,  # default: never replay PUTs
+    )
+    for _ in range(3):
+        client.allocation_curve("paper-bus", "5-point", "strip", SIDES)
+    print("3 requests over one pooled keep-alive connection: ok")
+
+    # RemoteSweepCache rides the same pool and opts into PUT retry —
+    # its PUTs are content-addressed, so replaying one is harmless.
+    remote = RemoteSweepCache(server.url, pool_size=2)
+    print(f"RemoteSweepCache retries PUTs: {remote.client.retry_non_idempotent}")
+
+
+def wire_tax(server: SweepServer) -> None:
+    binary = ServiceClient(server.url)
+    legacy = ServiceClient(server.url, binary=False)
+    cache = SweepCache()
+    kind = PartitionKind.SQUARE
+
+    def median_ms(fn, repeats: int = 9) -> float:
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return float(np.median(times)) * 1e3
+
+    direct = lambda: optimal_allocation_curve(  # noqa: E731
+        PAPER_BUS, FIVE_POINT, kind, SIDES, integer=True, cache=cache
+    )
+    frame = lambda: binary.allocation_curve(  # noqa: E731
+        "paper-bus", "5-point", "square", SIDES, integer=True
+    )
+    json_path = lambda: legacy.allocation_curve(  # noqa: E731
+        "paper-bus", "5-point", "square", SIDES, integer=True
+    )
+    direct()  # warm both caches
+    frame()
+    d, f, j = median_ms(direct), median_ms(frame), median_ms(json_path)
+    print(f"warm hit, {len(SIDES)} points: direct {d:.2f} ms | "
+          f"frame {f:.2f} ms | json {j:.2f} ms")
+    print(f"wire overhead: frame {(f - d) / d:.2f}x direct, "
+          f"json {(j - d) / d:.2f}x direct (gate: <= 2x)")
+
+
+def main() -> None:
+    with SweepServer(port=0) as server:
+        print(f"daemon: {server.url}\n")
+        negotiation(server)
+        print()
+        pool_knobs(server)
+        print()
+        wire_tax(server)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,11 @@ function over JSON-over-HTTP with nothing beyond the standard library:
 * :class:`ServiceClient` — typed requests (allocation curves, capacity
   plans, raw sweeps) with exact ``float`` round-tripping, so a curve
   fetched from the daemon equals the offline computation byte for byte.
+  Transport is a thread-safe keep-alive connection pool with stale-
+  socket replay and bounded exponential-backoff retry; array responses
+  negotiate the zero-copy binary frame (:mod:`repro.service.frame`,
+  ``Accept: application/x-repro-frame``) and fall back to base64-JSON
+  against older servers transparently.
 * :class:`RemoteSweepCache` — a :class:`~repro.batch.SweepCache` whose
   slow tier is the daemon instead of a local directory; the experiment
   runner's ``--server`` routes every worker's sweeps through one warm,
@@ -37,14 +42,20 @@ response's ``served`` field says how (``memory``/``disk``/``coalesced``
 """
 
 from repro.service.client import RemoteSweepCache, ServiceClient, ServiceError
+from repro.service.frame import FRAME_CONTENT_TYPE, FrameError, decode_frame, encode_frame, frame_bytes
 from repro.service.schema import decode_arrays, encode_arrays
 from repro.service.server import SweepServer
 
 __all__ = [
+    "FRAME_CONTENT_TYPE",
+    "FrameError",
     "RemoteSweepCache",
     "ServiceClient",
     "ServiceError",
     "SweepServer",
     "decode_arrays",
+    "decode_frame",
     "encode_arrays",
+    "encode_frame",
+    "frame_bytes",
 ]

@@ -7,14 +7,32 @@ runner's ``--server`` routes every worker's sweeps through one shared,
 deduplicated store while still counting its own hits and misses (the
 counts a report can aggregate — a daemon-side hit is invisible to a
 worker's local stats otherwise).
+
+Transport: every client owns a thread-safe pool of keep-alive
+``http.client.HTTPConnection`` objects, so a warm request costs one
+socket write, not a TCP handshake.  A stale pooled socket (the server
+closed an idle keep-alive connection) is replayed once on a fresh
+connection; genuinely transient transport errors get a bounded
+exponential-backoff retry — on by default for the idempotent surface
+(GETs and the pure ``/v1/compute`` POSTs), off by default for PUTs.
+
+Protocol: array responses are negotiated per request.  The client sends
+``Accept: application/x-repro-frame`` and branches on the response's
+``Content-Type`` — a new server answers with the zero-copy binary frame
+(:mod:`repro.service.frame`), an old server answers base64-JSON and the
+client decodes that instead, transparently.  ``last_protocol`` records
+which path the most recent compute took.
 """
 
 from __future__ import annotations
 
+import http.client
 import io
 import json
-import urllib.error
-import urllib.request
+import socket
+import threading
+import time
+import urllib.parse
 from typing import Any, Mapping
 
 import numpy as np
@@ -22,6 +40,12 @@ import numpy as np
 from repro.batch.cache import SweepCache
 from repro.core.parameters import DEFAULT_T_FLOP
 from repro.errors import ReproError
+from repro.service.frame import (
+    FRAME_CONTENT_TYPE,
+    FrameError,
+    decode_frame,
+    frame_bytes,
+)
 from repro.service.schema import (
     allocation_payload,
     decode_arrays,
@@ -36,17 +60,151 @@ class ServiceError(ReproError, RuntimeError):
     """The sweep server rejected a request or could not be reached."""
 
 
-class ServiceClient:
-    """JSON-over-HTTP client for a running :class:`~repro.service.SweepServer`."""
+#: Transport failures worth replaying: the connection died under the
+#: request (reset, refused mid-restart, no status line, a keep-alive
+#: socket the server already closed).  Timeouts are deliberately *not*
+#: here — replaying a slow compute doubles it.
+_TRANSIENT_ERRORS = (
+    ConnectionError,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ImproperConnectionState,
+)
 
-    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
-        self.base_url = base_url.rstrip("/")
+
+class _PooledConnection(http.client.HTTPConnection):
+    """A keep-alive connection with Nagle off.
+
+    Request and response each fit one small burst; letting Nagle hold
+    the last segment behind a delayed ACK costs ~40 ms per round trip
+    on an otherwise ~1 ms warm hit.
+    """
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class _ConnectionPool:
+    """A bounded stack of reusable keep-alive connections to one host.
+
+    ``acquire`` pops an idle connection (or makes a fresh one);
+    ``release`` returns a healthy connection for the next request,
+    closing it instead once ``size`` are already idle.  Threads beyond
+    ``size`` are never blocked — they just pay for a fresh socket.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float, size: int) -> None:
+        self.host = host
+        self.port = port
         self.timeout = timeout
+        self.size = max(1, int(size))
+        self._lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []  # guarded-by: _lock
+
+    def acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """``(connection, pooled)`` — ``pooled`` means it may be stale."""
+        with self._lock:
+            if self._idle:
+                return self._idle.pop(), True
+        return _PooledConnection(self.host, self.port, timeout=self.timeout), False
+
+    def release(self, connection: http.client.HTTPConnection) -> None:
+        with self._lock:
+            if len(self._idle) < self.size:
+                self._idle.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle = self._idle
+            self._idle = []
+        for connection in idle:
+            connection.close()
+
+
+class ServiceClient:
+    """HTTP client for a running :class:`~repro.service.SweepServer`.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the daemon (a path prefix is honored).
+    timeout:
+        Per-request socket timeout in seconds.
+    pool_size:
+        Keep-alive connections retained for reuse; concurrent callers
+        beyond this open (and afterwards discard) extra sockets.
+    retries, backoff_s:
+        Bounded retry budget for transient transport errors on the
+        idempotent surface, with exponential backoff starting at
+        ``backoff_s``.  ``retries=0`` disables everything except the
+        single stale-socket replay that keep-alive pooling requires.
+    retry_non_idempotent:
+        Extend the retry budget (and the stale-socket replay) to PUTs.
+        Off by default; safe to enable against the sweep daemon, whose
+        cache PUTs are content-addressed and therefore replayable.
+    binary:
+        Offer the zero-copy binary frame on array requests.  The JSON
+        fallback is automatic either way; ``binary=False`` forces it.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        pool_size: int = 4,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        retry_non_idempotent: bool = False,
+        binary: bool = True,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        target = self.base_url if "://" in self.base_url else f"http://{self.base_url}"
+        split = urllib.parse.urlsplit(target)
+        if split.scheme != "http":
+            raise ServiceError(
+                f"unsupported scheme {split.scheme!r} in {base_url!r}: the sweep "
+                "daemon speaks plain http"
+            )
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = float(backoff_s)
+        self.retry_non_idempotent = bool(retry_non_idempotent)
+        self.binary = bool(binary)
+        self._prefix = split.path.rstrip("/")
+        self._pool = _ConnectionPool(
+            split.hostname or "127.0.0.1", split.port or 80, timeout, pool_size
+        )
+        self._lock = threading.Lock()
+        #: Does the server speak the binary frame?  None until observed;
+        #: flipped False when a frame PUT bounces off an old server.
+        self._server_frames: bool | None = None  # guarded-by: _lock
         #: How the server answered the most recent compute call —
         #: ``memory``/``disk``/``coalesced``/``batched``/``computed``.
         self.last_served: str | None = None
+        #: Which wire encoding the most recent array response used —
+        #: ``"frame"`` or ``"json"``.
+        self.last_protocol: str | None = None
+
+    def close(self) -> None:
+        """Drop pooled connections (idle daemons, test teardown)."""
+        self._pool.close()
 
     # ------------------------------------------------------------- transport
+
+    def _note_frames(self, supported: bool) -> None:
+        with self._lock:
+            self._server_frames = supported
+
+    def _frames_unknown(self) -> bool:
+        with self._lock:
+            return self._server_frames is None
+
+    def _frames_usable(self) -> bool:
+        with self._lock:
+            return self._server_frames is not False
 
     def _request(
         self,
@@ -54,29 +212,64 @@ class ServiceClient:
         data: bytes | None = None,
         method: str = "GET",
         content_type: str | None = None,
-    ) -> tuple[int, bytes]:
-        request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, method=method
-        )
-        if content_type is not None:
-            request.add_header("Content-Type", content_type)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.status, response.read()
-        except urllib.error.HTTPError as exc:
-            return exc.code, exc.read()
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"sweep server unreachable at {self.base_url}: {exc.reason}"
-            ) from None
+        accept: str | None = None,
+        idempotent: bool = True,
+    ) -> tuple[int, str, bytes]:
+        """One request over a pooled connection: ``(status, ctype, body)``.
 
-    def _json(
-        self, path: str, payload: Mapping[str, Any] | None = None, method: str = "GET"
-    ) -> dict[str, Any]:
-        data = None if payload is None else json.dumps(payload).encode()
-        status, body = self._request(
-            path, data, method=method, content_type="application/json"
-        )
+        A transport failure on a *pooled* connection is replayed on a
+        fresh socket without consuming the retry budget — that is the
+        normal fate of a keep-alive socket the server timed out, not a
+        server problem.  Fresh-connection failures consume ``retries``
+        with exponential backoff.  Non-idempotent requests (PUTs) get
+        neither unless ``retry_non_idempotent`` is set.
+        """
+        headers: dict[str, str] = {}
+        if content_type is not None:
+            headers["Content-Type"] = content_type
+        if accept is not None:
+            headers["Accept"] = accept
+        replayable = idempotent or self.retry_non_idempotent
+        attempts = 0
+        replays = 0
+        delay = self.backoff_s
+        while True:
+            connection, pooled = self._pool.acquire()
+            try:
+                connection.request(method, self._prefix + path, body=data, headers=headers)
+                response = connection.getresponse()
+                body = response.read()
+            except TimeoutError:
+                connection.close()
+                raise ServiceError(
+                    f"sweep server timed out at {self.base_url} after {self.timeout}s"
+                ) from None
+            except _TRANSIENT_ERRORS as exc:
+                connection.close()
+                if replayable and pooled and replays <= self._pool.size:
+                    replays += 1  # a stale keep-alive socket, not a failure
+                    continue
+                if replayable and attempts < self.retries:
+                    attempts += 1
+                    time.sleep(delay)
+                    delay *= 2.0
+                    continue
+                raise ServiceError(
+                    f"sweep server unreachable at {self.base_url}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from None
+            except OSError as exc:
+                connection.close()
+                raise ServiceError(
+                    f"sweep server unreachable at {self.base_url}: {exc}"
+                ) from None
+            if response.will_close:
+                connection.close()
+            else:
+                self._pool.release(connection)
+            return response.status, response.headers.get("Content-Type") or "", body
+
+    def _parse_json(self, status: int, body: bytes, path: str) -> dict[str, Any]:
         try:
             decoded = json.loads(body)
         except json.JSONDecodeError:
@@ -87,7 +280,16 @@ class ServiceClient:
             raise ServiceError(
                 decoded.get("error", f"sweep server error {status} for {path}")
             )
-        return decoded
+        return dict(decoded)
+
+    def _json(
+        self, path: str, payload: Mapping[str, Any] | None = None, method: str = "GET"
+    ) -> dict[str, Any]:
+        data = None if payload is None else json.dumps(payload).encode()
+        status, _ctype, body = self._request(
+            path, data, method=method, content_type="application/json"
+        )
+        return self._parse_json(status, body, path)
 
     # ------------------------------------------------------------ endpoints
 
@@ -98,10 +300,41 @@ class ServiceClient:
         return self._json("/v1/stats")
 
     def compute(self, payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
-        """POST one request; returns the named arrays, bit-exact."""
-        response = self._json("/v1/compute", payload, method="POST")
-        self.last_served = response.get("served")
-        return decode_arrays(response["arrays"])
+        """POST one request; returns the named arrays, bit-exact.
+
+        The response encoding is whatever the negotiation yielded: the
+        binary frame from a frame-capable server, base64-JSON otherwise.
+        Either way the array bytes are identical.
+        """
+        accept = (
+            f"{FRAME_CONTENT_TYPE}, application/json"
+            if self.binary
+            else "application/json"
+        )
+        status, ctype, body = self._request(
+            "/v1/compute",
+            json.dumps(payload).encode(),
+            method="POST",
+            content_type="application/json",
+            accept=accept,
+        )
+        if ctype.startswith(FRAME_CONTENT_TYPE):
+            try:
+                arrays, meta = decode_frame(body)
+            except FrameError as exc:
+                raise ServiceError(f"sweep server sent a bad frame: {exc}") from None
+            if status != 200 or meta.get("status") != "ok":
+                raise ServiceError(
+                    str(meta.get("error", f"sweep server error {status}"))
+                )
+            self._note_frames(True)
+            self.last_served = meta.get("served")
+            self.last_protocol = "frame"
+            return arrays
+        decoded = self._parse_json(status, body, "/v1/compute")
+        self.last_served = decoded.get("served")
+        self.last_protocol = "json"
+        return decode_arrays(decoded["arrays"])
 
     def allocation_curve(
         self,
@@ -112,7 +345,7 @@ class ServiceClient:
         t_flop: float = DEFAULT_T_FLOP,
         max_processors: float | None = None,
         integer: bool = False,
-    ):
+    ) -> Any:
         """The daemon-served :class:`repro.batch.AllocationCurve`."""
         from repro.batch.analysis import AllocationCurve
         from repro.stencils.perimeter import PartitionKind
@@ -144,26 +377,54 @@ class ServiceClient:
     # ------------------------------------------------------- shared store API
 
     def cache_get(self, key: str) -> dict[str, np.ndarray] | None:
-        status, body = self._request(f"/v1/cache/{key}")
+        accept = (
+            f"{FRAME_CONTENT_TYPE}, application/octet-stream"
+            if self.binary
+            else "application/octet-stream"
+        )
+        status, ctype, body = self._request(f"/v1/cache/{key}", accept=accept)
         if status == 404:
             return None
         if status != 200:
             raise ServiceError(f"cache fetch failed ({status}) for {key}")
+        if ctype.startswith(FRAME_CONTENT_TYPE):
+            try:
+                arrays, _meta = decode_frame(body)
+            except FrameError:
+                # A torn response is a miss, same as a corrupt local file.
+                return None
+            self._note_frames(True)
+            return arrays
         try:
             with np.load(io.BytesIO(body), allow_pickle=False) as npz:
                 return {name: npz[name] for name in npz.files}
         except Exception:
-            # A torn response is a miss, same as a corrupt local file.
             return None
 
     def cache_put(self, key: str, arrays: Mapping[str, np.ndarray]) -> None:
+        if self.binary and self._frames_usable():
+            status, _ctype, _body = self._request(
+                f"/v1/cache/{key}",
+                frame_bytes(arrays),
+                method="PUT",
+                content_type=FRAME_CONTENT_TYPE,
+                idempotent=False,
+            )
+            if status == 200:
+                self._note_frames(True)
+                return
+            if not (status == 400 and self._frames_unknown()):
+                raise ServiceError(f"cache store failed ({status}) for {key}")
+            # An old server rejected the frame body: remember, fall back.
+            self._note_frames(False)
         buffer = io.BytesIO()
         np.savez(buffer, **dict(arrays))
-        status, body = self._request(
+        status, _ctype, _body = self._request(
             f"/v1/cache/{key}",
             buffer.getvalue(),
             method="PUT",
             content_type="application/octet-stream",
+            idempotent=False,
         )
         if status != 200:
             raise ServiceError(f"cache store failed ({status}) for {key}")
@@ -179,13 +440,33 @@ class RemoteSweepCache(SweepCache):
     instead of undercounting hits that happened server-side.  Stores
     land in local memory and are pushed to the daemon, where every
     other worker (and the daemon's compute path itself) can hit them.
+
+    The transport rides the client's keep-alive pool and binary-frame
+    negotiation automatically.  Retries extend to PUTs here
+    (``retry_non_idempotent=True``): the store is content-addressed, so
+    replaying a cache insert is harmless by construction.
     """
 
     def __init__(
-        self, base_url: str, timeout: float = 120.0, max_bytes: int | None = None
+        self,
+        base_url: str,
+        timeout: float = 120.0,
+        max_bytes: int | None = None,
+        pool_size: int = 4,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        binary: bool = True,
     ) -> None:
         super().__init__(cache_dir=None, max_bytes=max_bytes)
-        self.client = ServiceClient(base_url, timeout=timeout)
+        self.client = ServiceClient(
+            base_url,
+            timeout=timeout,
+            pool_size=pool_size,
+            retries=retries,
+            backoff_s=backoff_s,
+            retry_non_idempotent=True,
+            binary=binary,
+        )
 
     def _disk_fetch(self, key: str) -> dict[str, np.ndarray] | None:
         return self.client.cache_get(key)

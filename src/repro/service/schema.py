@@ -24,7 +24,9 @@ import numpy as np
 
 from repro.core.parameters import DEFAULT_T_FLOP
 from repro.errors import InvalidParameterError
+from repro.machines.base import Architecture
 from repro.machines.catalog import DEFAULT_MACHINES
+from repro.stencils.library import Stencil
 from repro.stencils.library import by_name as stencil_by_name
 from repro.stencils.perimeter import PartitionKind
 
@@ -127,7 +129,7 @@ def sweep_payload(
 # --------------------------------------------------------------------------
 
 
-def _machine(name: Any):
+def _machine(name: Any) -> Architecture:
     try:
         return DEFAULT_MACHINES[name]
     except (KeyError, TypeError):
@@ -137,7 +139,7 @@ def _machine(name: Any):
         ) from None
 
 
-def _stencil(name: Any):
+def _stencil(name: Any) -> Stencil:
     try:
         return stencil_by_name(name)
     except Exception:

@@ -26,11 +26,20 @@ Request lifecycle for ``POST /v1/compute``:
 
 Endpoints::
 
-    GET  /healthz             liveness
+    GET  /healthz             liveness + supported protocols
     GET  /v1/stats            cache + coalescing counters
-    GET  /v1/cache/<key>      raw .npz bytes of one entry (shared-store tier)
-    PUT  /v1/cache/<key>      insert one entry (npz body)
+    GET  /v1/cache/<key>      one entry (npz, or a binary frame when asked)
+    PUT  /v1/cache/<key>      insert one entry (npz or binary-frame body)
     POST /v1/compute          allocation_curve | plan | sweep requests
+
+The handler speaks HTTP/1.1 with keep-alive: every response carries a
+``Content-Length``, so a client can hold one connection open across
+requests instead of paying a TCP handshake per call.  Array-bearing
+responses are negotiated: a request whose ``Accept`` names
+``application/x-repro-frame`` gets the raw-bytes binary frame
+(:mod:`repro.service.frame`) — the arrays' buffers are written straight
+to the socket, no base64, no JSON number formatting — while everything
+else gets the original JSON encoding, byte-identical to older servers.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ import json
 import re
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Mapping
 
@@ -52,6 +62,7 @@ from repro.graph import nodes as graph_nodes
 from repro.graph.executors import NumpyExecutor
 from repro.graph.nodes import Node
 from repro.graph.planner import plan as plan_graph
+from repro.service.frame import FRAME_CONTENT_TYPE, FrameError, decode_frame, encode_frame
 from repro.service.schema import (
     encode_arrays,
     parse_allocation,
@@ -71,6 +82,11 @@ _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 #: worker pool (mirrors repro.batch.shard.MIN_CHUNK economics); handed
 #: to the NumPy executor as its shard threshold.
 _SHARD_THRESHOLD = 256
+
+#: Request-body → fingerprint memo entries kept (LRU).  Bodies are a
+#: few KiB, so the memo is ~1–2 MiB at the cap — cheap insurance that a
+#: warm hit never re-parses and re-hashes an identical request.
+_REQUEST_KEY_MEMO_MAX = 512
 
 
 class _Flight:
@@ -121,6 +137,11 @@ class SweepServer:
         self.started = time.time()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
+        #: Exact request bytes → cache fingerprint, learned on first
+        #: compute.  The warm-hit fast path: identical bodies skip JSON
+        #: parsing, validation, and fingerprint hashing entirely.
+        self._request_keys: OrderedDict[bytes, str] = OrderedDict()  # guarded-by: _request_keys_lock
+        self._request_keys_lock = threading.Lock()
         self._buckets: dict[tuple, list] = {}
         self._batch_lock = threading.Lock()
         self._counters = {
@@ -214,7 +235,29 @@ class SweepServer:
     # -------------------------------------------------------------- computing
 
     def handle_compute(self, payload: Mapping[str, Any]) -> dict[str, Any]:
-        """Dispatch one ``/v1/compute`` request; returns the response body."""
+        """One ``/v1/compute`` request as the JSON response body."""
+        arrays, served = self.compute_arrays(payload)
+        return {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
+
+    def compute_arrays(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[dict[str, np.ndarray], str]:
+        """Dispatch one compute request; returns ``(arrays, served)``.
+
+        Protocol-agnostic: the handler encodes the result as JSON or as
+        a binary frame depending on what the client accepts.
+        """
+        arrays, served, _key = self.compute_with_key(payload)
+        return arrays, served
+
+    def compute_with_key(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[dict[str, np.ndarray], str, str]:
+        """``(arrays, served, fingerprint)`` for one compute request.
+
+        The fingerprint is what the request-body memo learns: a later
+        byte-identical request can be answered by one cache lookup.
+        """
         kind = payload.get("kind")
         self._count("requests")
         if kind == "allocation_curve":
@@ -229,10 +272,10 @@ class SweepServer:
                 args["integer"],
             )
             arrays, served = self._serve_node(node)
-        elif kind == "plan":
-            args = parse_plan(payload)
-            arrays, served = self._serve_plan(args)
-        elif kind == "sweep":
+            return arrays, served, node.key
+        if kind == "plan":
+            return self._serve_plan(parse_plan(payload))
+        if kind == "sweep":
             args = parse_sweep(payload)
             spec = SweepSpec.across_catalog(
                 args["grid_sides"],
@@ -242,12 +285,45 @@ class SweepServer:
                 kind=args["kind"],
                 t_flop=args["t_flop"],
             )
-            arrays, served = self._serve_node(graph_nodes.sweep(spec))
-        else:
-            raise InvalidParameterError(
-                f"unknown request kind {kind!r}; expected allocation_curve, plan, or sweep"
-            )
-        return {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
+            node = graph_nodes.sweep(spec)
+            arrays, served = self._serve_node(node)
+            return arrays, served, node.key
+        raise InvalidParameterError(
+            f"unknown request kind {kind!r}; expected allocation_curve, plan, or sweep"
+        )
+
+    # The warm-hit fast path -------------------------------------------------
+
+    def fast_serve(
+        self, body: bytes
+    ) -> tuple[dict[str, np.ndarray], str] | None:
+        """Serve a byte-identical repeat request by cache lookup alone.
+
+        ``None`` means the body is unknown (or its entry was evicted)
+        and the full parse → fingerprint → serve pipeline must run.
+        Counters move exactly as they would on the slow path's cache
+        hit, so ``/v1/stats`` cannot tell the two apart.
+        """
+        with self._request_keys_lock:
+            key = self._request_keys.get(body)
+            if key is not None:
+                self._request_keys.move_to_end(body)
+        if key is None:
+            return None
+        arrays, level = self.cache.lookup_level(key)
+        if arrays is None:
+            return None
+        self._count("requests")
+        self._count("hits")
+        return arrays, level
+
+    def remember_request(self, body: bytes, key: str) -> None:
+        """Memoize body → fingerprint after a successful full serve."""
+        with self._request_keys_lock:
+            self._request_keys[body] = key
+            self._request_keys.move_to_end(body)
+            while len(self._request_keys) > _REQUEST_KEY_MEMO_MAX:
+                self._request_keys.popitem(last=False)
 
     def _serve_node(self, node: Node) -> tuple[dict[str, np.ndarray], str]:
         """Serve one graph leaf through cache → flights → planner fusion."""
@@ -370,7 +446,7 @@ class SweepServer:
 
     def _serve_plan(
         self, args: Mapping[str, Any]
-    ) -> tuple[dict[str, np.ndarray], str]:
+    ) -> tuple[dict[str, np.ndarray], str, str]:
         """Everything ``repro plan`` prints, as one fingerprinted bundle.
 
         The grid half reuses the offline CLI's ``("plan_grid", …)``
@@ -435,8 +511,9 @@ class SweepServer:
                 out["grid_square"] = curves[PartitionKind.SQUARE.value]
             return out
 
-        arrays, served = self._serve(fingerprint(request), compute=compute)
-        return arrays, served
+        key = fingerprint(request)
+        arrays, served = self._serve(key, compute=compute)
+        return arrays, served, key
 
 
 # --------------------------------------------------------------------------
@@ -444,9 +521,18 @@ class SweepServer:
 # --------------------------------------------------------------------------
 
 
+#: Frames at most this large are coalesced into a single socket write;
+#: a warm hit's latency is syscalls and packets, not memcpy.
+_GATHER_BYTES = 256 * 1024
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-sweepd/1"
     protocol_version = "HTTP/1.1"
+    #: Keep-alive clients wait for every response byte before the next
+    #: request; letting Nagle buffer the tail of a response behind a
+    #: delayed ACK turns a ~1 ms round trip into ~40 ms.
+    disable_nagle_algorithm = True
 
     @property
     def app(self) -> SweepServer:
@@ -475,6 +561,41 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _accepts_frame(self) -> bool:
+        """Did the client negotiate the binary array frame?"""
+        return FRAME_CONTENT_TYPE in (self.headers.get("Accept") or "")
+
+    def _send_frame(
+        self, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+    ) -> None:
+        """Write one binary frame: header, then each array's own buffer.
+
+        The memoryview chunks alias the arrays — no base64, no JSON
+        number formatting, no per-array ``bytes`` materialization.
+        Small frames are gathered into one socket write (a warm hit is
+        latency-bound on syscalls, not bandwidth); large ones stream
+        chunk by chunk so a big sweep never doubles in memory.
+        """
+        chunks = encode_frame(arrays, meta)
+        total = sum(len(c) for c in chunks)
+        self.send_response(200)
+        self.send_header("Content-Type", FRAME_CONTENT_TYPE)
+        self.send_header("Content-Length", str(total))
+        self.end_headers()
+        if total <= _GATHER_BYTES:
+            self.wfile.write(b"".join(bytes(c) for c in chunks))
+        else:
+            for chunk in chunks:
+                self.wfile.write(chunk)
+
+    def _send_arrays(self, arrays: Mapping[str, np.ndarray], served: str) -> None:
+        if self._accepts_frame():
+            self._send_frame(arrays, {"status": "ok", "served": served})
+        else:
+            self._send_json(
+                {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
+            )
+
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length)
@@ -487,7 +608,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         if self.path == "/healthz":
-            self._send_json({"status": "ok", "service": "repro-sweepd"})
+            # ``protocols`` is the negotiation advertisement: a client
+            # probing an old server will not find "frame" here.
+            self._send_json(
+                {
+                    "status": "ok",
+                    "service": "repro-sweepd",
+                    "protocols": ["json", "frame"],
+                }
+            )
         elif self.path == "/v1/stats":
             self._send_json({"status": "ok", **self.app.stats_payload()})
         elif self.path.startswith("/v1/cache/"):
@@ -498,6 +627,9 @@ class _Handler(BaseHTTPRequestHandler):
             arrays, _level = self.app.cache.lookup_level(key)
             if arrays is None:
                 self._send_error_json("no such entry", 404)
+                return
+            if self._accepts_frame():
+                self._send_frame(arrays, {"status": "ok"})
                 return
             buffer = io.BytesIO()
             np.savez(buffer, **arrays)
@@ -513,12 +645,20 @@ class _Handler(BaseHTTPRequestHandler):
         if key is None:
             self._send_error_json("malformed cache key", 400)
             return
-        try:
-            with np.load(io.BytesIO(self._read_body()), allow_pickle=False) as npz:
-                arrays = {name: npz[name] for name in npz.files}
-        except Exception:
-            self._send_error_json("body is not a readable .npz archive", 400)
-            return
+        body = self._read_body()
+        if (self.headers.get("Content-Type") or "").startswith(FRAME_CONTENT_TYPE):
+            try:
+                arrays, _meta = decode_frame(body)
+            except FrameError as exc:
+                self._send_error_json(str(exc), 400)
+                return
+        else:
+            try:
+                with np.load(io.BytesIO(body), allow_pickle=False) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            except Exception:
+                self._send_error_json("body is not a readable .npz archive", 400)
+                return
         self.app.cache.store(key, arrays)
         self._send_json({"status": "ok", "stored": key})
 
@@ -526,14 +666,22 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path != "/v1/compute":
             self._send_error_json(f"no route {self.path}", 404)
             return
+        body = self._read_body()
+        fast = self.app.fast_serve(body)
+        if fast is not None:
+            self._send_arrays(*fast)
+            return
         try:
-            payload = json.loads(self._read_body() or b"{}")
+            payload = json.loads(body or b"{}")
         except json.JSONDecodeError as exc:
             self._send_error_json(f"bad JSON body: {exc}", 400)
             return
         try:
-            self._send_json(self.app.handle_compute(payload))
+            arrays, served, key = self.app.compute_with_key(payload)
         except InvalidParameterError as exc:
             self._send_error_json(str(exc), 400)
         except Exception as exc:  # compute failures are the server's 500s
             self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
+        else:
+            self.app.remember_request(body, key)
+            self._send_arrays(arrays, served)

@@ -1,0 +1,273 @@
+"""The binary array frame: round trips, parity with base64-JSON, rejection.
+
+The frame is the negotiated fast path, so its contract is the JSON
+path's contract: every array the service can serve crosses bit for
+bit.  Property tests drive the codec over the dtype zoo (including
+layouts the cache never produces — Fortran order, big-endian, strided
+views); the parity tests pin the frame's payload bytes to exactly what
+the base64 encoding would have carried; the malformed-input tests pin
+clean :class:`FrameError` rejections, never a mis-sliced array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import SweepServer, ServiceClient
+from repro.service.frame import (
+    FRAME_CONTENT_TYPE,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    frame_bytes,
+)
+from repro.service.schema import decode_arrays, encode_arrays
+
+#: Every dtype the service actually serves (floats, counts, regime and
+#: stencil-name strings, flags) plus spares in both widths.
+SERVED_DTYPES = ["<f8", "<f4", "<i8", "<i4", "<u2", "|b1", "<c16", "<U8", "|S6"]
+
+
+def roundtrip(arrays):
+    decoded, meta = decode_frame(frame_bytes(arrays))
+    assert list(decoded) == list(arrays)
+    return decoded, meta
+
+
+@st.composite
+def served_arrays(draw):
+    dtype = np.dtype(draw(st.sampled_from(SERVED_DTYPES)))
+    shape = tuple(draw(st.lists(st.integers(0, 5), min_size=0, max_size=3)))
+    count = int(np.prod(shape)) if shape else 1
+    if dtype.kind == "f":
+        elems = st.floats(allow_nan=False, width=32 if dtype.itemsize == 4 else 64)
+    elif dtype.kind == "c":
+        elems = st.complex_numbers(allow_nan=False)
+    elif dtype.kind in "iu":
+        info = np.iinfo(dtype)
+        elems = st.integers(info.min, info.max)
+    elif dtype.kind == "b":
+        elems = st.booleans()
+    elif dtype.kind == "U":
+        elems = st.text(max_size=8)
+    else:
+        elems = st.binary(max_size=6)
+    values = draw(st.lists(elems, min_size=count, max_size=count))
+    return np.array(values, dtype=dtype).reshape(shape)
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(array=served_arrays())
+    def test_property_all_served_dtypes_round_trip(self, array):
+        decoded, _ = roundtrip({"x": array})
+        assert decoded["x"].dtype == array.dtype
+        assert decoded["x"].shape == array.shape
+        np.testing.assert_array_equal(decoded["x"], array)
+        # Bit-for-bit, not just value-equal.
+        assert decoded["x"].tobytes() == array.tobytes()
+
+    def test_multiple_arrays_keep_order_and_bits(self):
+        arrays = {
+            "speedup": np.array([1.0, -0.0, 1e-300, np.pi]),
+            "processors": np.arange(7, dtype=np.int64),
+            "regime": np.asarray(["one", "interior", "all"]),
+            "surface": np.arange(6.0).reshape(2, 3),
+            "empty": np.zeros((0, 4)),
+        }
+        decoded, _ = roundtrip(arrays)
+        for name in arrays:
+            assert decoded[name].dtype == arrays[name].dtype
+            np.testing.assert_array_equal(decoded[name], arrays[name])
+        assert np.signbit(decoded["speedup"][1])  # -0.0 keeps its sign bit
+
+    def test_meta_rides_the_header(self):
+        decoded, meta = decode_frame(
+            frame_bytes({"x": np.arange(3.0)}, {"status": "ok", "served": "memory"})
+        )
+        assert meta == {"status": "ok", "served": "memory"}
+        np.testing.assert_array_equal(decoded["x"], np.arange(3.0))
+
+    def test_fortran_order_input(self):
+        array = np.asfortranarray(np.arange(12.0).reshape(3, 4))
+        decoded, _ = roundtrip({"x": array})
+        np.testing.assert_array_equal(decoded["x"], array)
+        assert decoded["x"].flags["C_CONTIGUOUS"]
+
+    def test_non_contiguous_input(self):
+        base = np.arange(40.0)
+        array = base[::4]
+        decoded, _ = roundtrip({"x": array})
+        np.testing.assert_array_equal(decoded["x"], array)
+
+    def test_big_endian_input_values_preserved(self):
+        array = np.array([1.5, -2.25, 3e10], dtype=">f8")
+        decoded, _ = roundtrip({"x": array})
+        # Layout is normalized to little-endian; values are exact.
+        assert decoded["x"].dtype == np.dtype("<f8")
+        np.testing.assert_array_equal(decoded["x"], array.astype("<f8"))
+
+    def test_zero_length_array(self):
+        decoded, _ = roundtrip({"x": np.zeros(0, dtype=np.float64)})
+        assert decoded["x"].shape == (0,)
+
+    def test_scalar_zero_dim_array(self):
+        decoded, _ = roundtrip({"x": np.float64(3.5)[...]})
+        assert decoded["x"].shape == ()
+        assert decoded["x"].item() == 3.5
+
+    def test_decoded_arrays_are_zero_copy_views(self):
+        body = frame_bytes({"x": np.arange(5.0)})
+        decoded, _ = decode_frame(body)
+        assert not decoded["x"].flags.writeable  # views over the body
+
+
+class TestParityWithJson:
+    @settings(max_examples=60, deadline=None)
+    @given(array=served_arrays())
+    def test_property_frame_equals_base64_path(self, array):
+        via_json = decode_arrays(encode_arrays({"x": array}))["x"]
+        via_frame, _ = decode_frame(frame_bytes({"x": array}))
+        if array.dtype.byteorder != ">":
+            assert via_frame["x"].dtype == via_json.dtype
+            assert via_frame["x"].tobytes() == via_json.tobytes()
+        np.testing.assert_array_equal(via_frame["x"], via_json)
+
+    def test_payload_bytes_are_exactly_the_base64_decoded_bytes(self):
+        import base64
+
+        array = np.linspace(-1, 1, 257)
+        json_bytes = base64.b64decode(encode_arrays({"x": array})["x"]["data"])
+        chunks = encode_frame({"x": array})
+        assert b"".join(bytes(c) for c in chunks[1:]) == json_bytes
+
+
+class TestMalformed:
+    def test_object_dtype_is_rejected_on_encode(self):
+        with pytest.raises(FrameError, match="object"):
+            frame_bytes({"x": np.array([object()])})
+
+    def test_bad_magic(self):
+        with pytest.raises(FrameError, match="magic"):
+            decode_frame(b"NOTFRAME" + b"\x00" * 16)
+
+    def test_truncated_body(self):
+        body = frame_bytes({"x": np.arange(9.0)})
+        with pytest.raises(FrameError):
+            decode_frame(body[: len(body) - 5])
+
+    def test_header_length_beyond_body(self):
+        import struct
+
+        with pytest.raises(FrameError, match="header length"):
+            decode_frame(b"REPROFR1" + struct.pack("<I", 10_000) + b"{}")
+
+    def test_header_not_json(self):
+        import struct
+
+        with pytest.raises(FrameError, match="not JSON"):
+            decode_frame(b"REPROFR1" + struct.pack("<I", 4) + b"@@@@")
+
+    def test_header_missing_arrays_list(self):
+        import struct
+
+        header = b'{"status":"ok"}'
+        with pytest.raises(FrameError, match="'arrays' list"):
+            decode_frame(b"REPROFR1" + struct.pack("<I", len(header)) + header)
+
+    def _tampered(self, mutate):
+        import json as jsonlib
+        import struct
+
+        body = bytes(frame_bytes({"x": np.arange(4.0)}))
+        (hlen,) = struct.unpack_from("<I", body, 8)
+        header = jsonlib.loads(body[12 : 12 + hlen])
+        mutate(header["arrays"][0])
+        new_header = jsonlib.dumps(header, separators=(",", ":")).encode()
+        return b"REPROFR1" + struct.pack("<I", len(new_header)) + new_header + body[12 + hlen :]
+
+    def test_nbytes_disagrees_with_shape(self):
+        with pytest.raises(FrameError, match="declares"):
+            decode_frame(self._tampered(lambda e: e.update(nbytes=16)))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(FrameError, match="shape"):
+            decode_frame(self._tampered(lambda e: e.update(shape=[-4])))
+
+    def test_garbage_dtype_rejected(self):
+        with pytest.raises(FrameError, match="dtype"):
+            decode_frame(self._tampered(lambda e: e.update(dtype=[">weird"])))
+
+    def test_object_dtype_header_rejected_on_decode(self):
+        with pytest.raises(FrameError, match="object"):
+            decode_frame(self._tampered(lambda e: e.update(dtype="O", nbytes=32)))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(FrameError, match="trailing"):
+            decode_frame(bytes(frame_bytes({"x": np.arange(4.0)})) + b"xx")
+
+    def test_malformed_put_body_is_a_clean_400(self):
+        import urllib.request
+        import urllib.error
+
+        with SweepServer(port=0) as server:
+            request = urllib.request.Request(
+                f"{server.url}/v1/cache/{'a' * 64}",
+                data=b"REPROFR1garbage",
+                method="PUT",
+                headers={"Content-Type": FRAME_CONTENT_TYPE},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request)
+            assert excinfo.value.code == 400
+            assert b"malformed frame" in excinfo.value.read()
+
+
+class TestEndToEnd:
+    @pytest.fixture()
+    def server(self):
+        with SweepServer(port=0) as srv:
+            yield srv
+
+    def test_negotiated_frame_matches_forced_json_bitwise(self, server):
+        sides = list(range(64, 512, 16))
+        binary = ServiceClient(server.url)
+        legacy = ServiceClient(server.url, binary=False)
+        a = binary.allocation_curve("paper-bus", "5-point", "square", sides, integer=True)
+        assert binary.last_protocol == "frame"
+        b = legacy.allocation_curve("paper-bus", "5-point", "square", sides, integer=True)
+        assert legacy.last_protocol == "json"
+        for field in ("speedup", "cycle_time", "processors", "area"):
+            left, right = getattr(a, field), getattr(b, field)
+            assert left.tobytes() == right.tobytes()
+        assert a.regime == b.regime
+
+    def test_json_only_server_falls_back_transparently(self, server, monkeypatch):
+        # An "old" daemon: never answers with a frame, whatever Accept
+        # says.  The client must detect the JSON Content-Type and fall
+        # back without an error — the negotiation contract.
+        from repro.service import server as server_mod
+
+        monkeypatch.setattr(
+            server_mod._Handler, "_accepts_frame", lambda self: False
+        )
+        client = ServiceClient(server.url)
+        sides = list(range(64, 256, 16))
+        curve = client.allocation_curve("paper-bus", "5-point", "square", sides)
+        assert client.last_protocol == "json"
+        assert curve.speedup.shape == (len(sides),)
+
+    def test_cache_tier_round_trips_frames(self, server):
+        client = ServiceClient(server.url)
+        key = "e" * 64
+        arrays = {"x": np.linspace(0, 1, 33), "names": np.asarray(["a", "bb"])}
+        client.cache_put(key, arrays)
+        back = client.cache_get(key)
+        np.testing.assert_array_equal(back["x"], arrays["x"])
+        np.testing.assert_array_equal(back["names"], arrays["names"])
+
+    def test_healthz_advertises_the_frame_protocol(self, server):
+        assert "frame" in ServiceClient(server.url).health()["protocols"]

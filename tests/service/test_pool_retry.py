@@ -1,0 +1,224 @@
+"""Connection pooling and retry against a deliberately flaky server.
+
+The keep-alive pool's failure modes are all timing-shaped — a server
+that closed an idle socket, a connection reset mid-restart, a daemon
+that drops the first N connection attempts — so these tests build
+in-process servers that misbehave *on demand* and pin the client
+contract: stale sockets are replayed invisibly, transient errors are
+retried with bounded backoff on the idempotent surface, and PUTs are
+never retried unless the caller opts in.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+import pytest
+
+from repro.service import RemoteSweepCache, ServiceClient, ServiceError, SweepServer
+
+SIDES = list(range(64, 256, 16))
+
+
+class _FlakyServer(ThreadingHTTPServer):
+    """An HTTP server whose next N connections die before a response.
+
+    ``fail_connections(n)`` arms it: the next ``n`` accepted
+    connections are closed immediately (the client sees a reset or an
+    empty status line — exactly what a crashing or restarting daemon
+    produces).  Requests and connection attempts are counted so tests
+    can assert how many times the client actually knocked.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, handler) -> None:
+        super().__init__(("127.0.0.1", 0), handler)
+        self.lock = threading.Lock()
+        self.fail_budget = 0  # guarded-by: lock
+        self.connections = 0  # guarded-by: lock
+        self.requests = 0  # guarded-by: lock
+
+    def fail_connections(self, n: int) -> None:
+        with self.lock:
+            self.fail_budget = n
+
+    def count_request(self) -> None:
+        with self.lock:
+            self.requests += 1
+
+    def process_request(self, request, client_address):
+        with self.lock:
+            self.connections += 1
+            drop = self.fail_budget > 0
+            if drop:
+                self.fail_budget -= 1
+        if drop:
+            self.shutdown_request(request)
+            return
+        super().process_request(request, client_address)
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server_address[1]}"
+
+
+class _OkHandler(BaseHTTPRequestHandler):
+    """Answers every route with a tiny JSON body, keep-alive."""
+
+    protocol_version = "HTTP/1.1"
+    close_after_response = False  # claim keep-alive, then hang up anyway
+
+    def log_message(self, format, *args):
+        pass
+
+    def _respond(self):
+        self.server.count_request()
+        body = b'{"status": "ok"}'
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        if self.close_after_response:
+            # Close without having advertised Connection: close — the
+            # client's pooled socket goes stale, as after a keep-alive
+            # timeout.
+            self.close_connection = True
+
+    do_GET = do_POST = do_PUT = _respond
+
+
+class _OneShotHandler(_OkHandler):
+    close_after_response = True
+
+
+@pytest.fixture()
+def flaky():
+    server = _FlakyServer(_OkHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture()
+def oneshot():
+    server = _FlakyServer(_OneShotHandler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestStaleSocketReplay:
+    def test_stale_keepalive_socket_is_replayed_invisibly(self, oneshot):
+        # Every response leaves the pooled socket secretly dead; each
+        # subsequent request must notice and replay on a fresh
+        # connection without surfacing an error or consuming retries.
+        client = ServiceClient(oneshot.url, retries=0)
+        for _ in range(4):
+            assert client.health()["status"] == "ok"
+        with oneshot.lock:
+            assert oneshot.requests == 4
+
+    def test_healthy_keepalive_reuses_one_connection(self, flaky):
+        client = ServiceClient(flaky.url)
+        for _ in range(5):
+            client.health()
+        with flaky.lock:
+            assert flaky.connections == 1
+            assert flaky.requests == 5
+
+
+class TestTransientRetry:
+    def test_dropped_connections_are_retried_with_backoff(self, flaky):
+        flaky.fail_connections(2)
+        client = ServiceClient(flaky.url, retries=3, backoff_s=0.01)
+        assert client.health()["status"] == "ok"
+        with flaky.lock:
+            assert flaky.connections == 3  # 2 drops + 1 success
+            assert flaky.requests == 1
+
+    def test_retry_budget_exhausted_raises_service_error(self, flaky):
+        flaky.fail_connections(5)
+        client = ServiceClient(flaky.url, retries=1, backoff_s=0.01)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.health()
+        with flaky.lock:
+            assert flaky.connections == 2  # the first try + 1 retry
+
+    def test_retries_zero_fails_on_first_transient_error(self, flaky):
+        flaky.fail_connections(1)
+        client = ServiceClient(flaky.url, retries=0)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.health()
+
+    def test_unreachable_server_still_raises_cleanly(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5, retries=0)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.health()
+
+
+class TestPutPolicy:
+    KEY = "a" * 64
+
+    def test_puts_are_not_retried_by_default(self, flaky):
+        client = ServiceClient(flaky.url, retries=3, backoff_s=0.01)
+        flaky.fail_connections(1)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.cache_put(self.KEY, {"x": np.zeros(3)})
+        with flaky.lock:
+            assert flaky.connections == 1  # exactly one attempt, no retry
+
+    def test_opt_in_retries_non_idempotent_puts(self, flaky):
+        client = ServiceClient(
+            flaky.url, retries=3, backoff_s=0.01, retry_non_idempotent=True
+        )
+        flaky.fail_connections(1)
+        client.cache_put(self.KEY, {"x": np.zeros(3)})
+        with flaky.lock:
+            assert flaky.requests == 1
+
+    def test_remote_sweep_cache_opts_in(self, flaky):
+        # RemoteSweepCache PUTs are content-addressed, hence replayable;
+        # the tier enables retry_non_idempotent for its client.
+        cache = RemoteSweepCache(flaky.url)
+        assert cache.client.retry_non_idempotent is True
+
+
+class TestAgainstTheRealDaemon:
+    def test_pool_survives_concurrent_clients_and_stays_exact(self):
+        sides = SIDES
+        with SweepServer(port=0) as server:
+            shared = ServiceClient(server.url, pool_size=2)
+            results = []
+            lock = threading.Lock()
+
+            def fire():
+                curve = shared.allocation_curve(
+                    "paper-bus", "5-point", "square", sides, integer=True
+                )
+                with lock:
+                    results.append(curve)
+
+            threads = [threading.Thread(target=fire) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 8
+            for curve in results[1:]:
+                assert curve.speedup.tobytes() == results[0].speedup.tobytes()
+
+    def test_client_close_drops_pooled_connections(self):
+        with SweepServer(port=0) as server:
+            client = ServiceClient(server.url)
+            client.health()
+            client.close()
+            # The pool refills transparently afterwards.
+            assert client.health()["status"] == "ok"
