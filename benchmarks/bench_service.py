@@ -1,22 +1,32 @@
-"""BENCH-SERVICE: the sweep daemon vs direct calls, dedup, and the wire tax.
+"""BENCH-SERVICE: both serve backends — latency, pipelining, connections.
 
-Three measurements, recorded to ``results/BENCH_service.json`` so the
+Five measurements, recorded to ``results/BENCH_service.json`` so the
 serving layer's behavior is tracked across PRs:
 
-* **server vs direct latency** — a warm allocation-curve request
-  through ``repro serve`` versus the same request answered by the
-  in-process cache.  The client negotiates the zero-copy binary frame
+* **server vs direct latency, per backend** — a warm allocation-curve
+  request through ``repro serve`` versus the same request answered by
+  the in-process cache, measured against the threaded backend AND the
+  asyncio backend.  The client negotiates the zero-copy binary frame
   over a pooled keep-alive connection; the base64-JSON path is also
-  timed for comparison.  **Gate:** the warm hit's wire overhead
+  timed.  **Gate (both backends):** the warm hit's wire overhead
   (server minus direct) must be at most ``MAX_WIRE_OVERHEAD_RATIO``
   times the direct cost — the protocol may not dominate the compute.
+* **pipelined throughput, per backend** — warm hits issued through
+  ``compute_many(pipeline=16)`` versus the same count sequentially
+  over one keep-alive connection.  **Gate (asyncio):**
+  ``pipelined_rps`` must be at least ``MIN_PIPELINE_SPEEDUP`` times
+  the sequential rate — pipelining has to buy real round trips.
+* **concurrent connections (asyncio)** — at least
+  ``CONNECTION_TARGET`` idle keep-alive sockets held open at once
+  (the fd limit is raised first), while the server's thread count
+  stays bounded by the executor size.  **Gate:** sockets are not
+  threads.
 * **sustained throughput** — N concurrent keep-alive clients hammer
-  warm requests for a fixed count; reported as requests/second (the
-  "millions of users" proxy; reported, not gated — CI boxes vary).
+  warm requests for a fixed count (reported, not gated — CI boxes
+  vary).
 * **dedup under concurrency** — 8 concurrent clients each issue the
-  same cold request 4 times.  Fingerprint coalescing plus the shared
-  cache must answer at least 90% of the 32 requests without
-  recomputing (the gate): one thread computes, everyone else is served.
+  same cold request 4 times; coalescing plus the shared cache must
+  answer at least 90% of the 32 requests without recomputing (gate).
 
 Run as a script (CI's smoke bench) or under pytest:
 
@@ -27,6 +37,8 @@ Run as a script (CI's smoke bench) or under pytest:
 from __future__ import annotations
 
 import json
+import resource
+import socket
 import sys
 import threading
 import time
@@ -37,7 +49,8 @@ import numpy as np
 from repro.batch import SweepCache, optimal_allocation_curve
 from repro.machines.catalog import PAPER_BUS
 from repro.report.csvio import default_results_dir
-from repro.service import ServiceClient, SweepServer
+from repro.service import AsyncSweepServer, ServiceClient, SweepServer
+from repro.service.schema import allocation_payload
 from repro.stencils.library import FIVE_POINT
 from repro.stencils.perimeter import PartitionKind
 
@@ -46,6 +59,10 @@ CLIENTS = 8
 ROUNDS = 4
 THROUGHPUT_CLIENTS = 8
 THROUGHPUT_REQUESTS = 100  # per client, warm, over keep-alive connections
+PIPELINE_DEPTH = 16
+PIPELINE_REQUESTS = 256  # warm hits per timing arm
+CONNECTION_TARGET = 1000  # idle keep-alive sockets held open at once
+ASYNC_WORKERS = 8
 
 #: The acceptance bar: fraction of concurrent identical requests that
 #: must be answered by the cache or by coalescing onto the one compute.
@@ -55,6 +72,31 @@ MIN_DEDUP_RATIO = 0.90
 #: minus direct latency) must stay within this multiple of the direct
 #: cost.  Before the persistent-connection binary path it was ~4x.
 MAX_WIRE_OVERHEAD_RATIO = 2.0
+
+#: Pipelined warm hits must beat one-at-a-time keep-alive requests by
+#: at least this factor on the asyncio backend.
+MIN_PIPELINE_SPEEDUP = 1.5
+
+BACKENDS = {"thread": SweepServer, "asyncio": AsyncSweepServer}
+
+
+def _make_server(backend: str):
+    if backend == "asyncio":
+        return AsyncSweepServer(port=0, workers=ASYNC_WORKERS)
+    return SweepServer(port=0)
+
+
+def _raise_fd_limit(wanted: int) -> int:
+    """Raise RLIMIT_NOFILE toward ``wanted``; return the soft limit."""
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < wanted:
+        target = wanted if hard == resource.RLIM_INFINITY else min(wanted, hard)
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (target, hard))
+            soft = target
+        except (ValueError, OSError):
+            pass  # keep whatever we have; the bench scales down
+    return soft
 
 
 def _median_seconds(fn, repeats: int = 15) -> float:
@@ -66,7 +108,7 @@ def _median_seconds(fn, repeats: int = 15) -> float:
     return float(np.median(times))
 
 
-def bench_latency(server: SweepServer) -> dict:
+def bench_latency(server) -> dict:
     """Median warm-request latency: daemon round trip vs direct cache.
 
     The daemon is timed twice — once over the negotiated binary frame
@@ -101,6 +143,7 @@ def bench_latency(server: SweepServer) -> dict:
         )
     )
     return {
+        "backend": server.backend,
         "points": len(SIDES),
         "protocol": protocol,
         "warm_server_seconds": server_s,
@@ -113,7 +156,82 @@ def bench_latency(server: SweepServer) -> dict:
     }
 
 
-def bench_throughput(server: SweepServer) -> dict:
+def bench_pipelining(server) -> dict:
+    """Warm hits: ``compute_many(pipeline=16)`` vs sequential keep-alive."""
+    axis = list(range(80, 1080, 4))  # distinct from the latency axis
+    payload = allocation_payload("paper-bus", "5-point", "strip", axis, integer=True)
+    client = ServiceClient(server.url)
+    client.compute(payload)  # warm the entry; every timed request is a hit
+
+    batch = [payload] * PIPELINE_REQUESTS
+
+    start = time.perf_counter()
+    for item in batch:
+        client.compute(item)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    results = client.compute_many(batch, pipeline=PIPELINE_DEPTH)
+    pipelined_s = time.perf_counter() - start
+    assert len(results) == PIPELINE_REQUESTS
+
+    sequential_rps = PIPELINE_REQUESTS / sequential_s
+    pipelined_rps = PIPELINE_REQUESTS / pipelined_s
+    return {
+        "backend": server.backend,
+        "requests": PIPELINE_REQUESTS,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "sequential_seconds": sequential_s,
+        "pipelined_seconds": pipelined_s,
+        "sequential_rps": sequential_rps,
+        "pipelined_rps": pipelined_rps,
+        "speedup": pipelined_rps / sequential_rps,
+    }
+
+
+def bench_connections() -> dict:
+    """Idle keep-alive sockets held open against the asyncio backend.
+
+    The point of the event loop: a connection is a few kilobytes of
+    loop state, not a thread.  We hold ``CONNECTION_TARGET`` sockets
+    open at once and check (a) the server saw them all and still
+    answers requests, (b) its thread population stayed bounded by the
+    executor size — independent of the connection count.
+    """
+    # Each held connection costs two fds (client + server end of the
+    # loopback pair), plus headroom for the process itself.
+    soft = _raise_fd_limit(CONNECTION_TARGET * 2 + 512)
+    target = min(CONNECTION_TARGET, max(0, (soft - 256) // 2))
+
+    threads_before = threading.active_count()
+    with AsyncSweepServer(port=0, workers=ASYNC_WORKERS) as server:
+        client = ServiceClient(server.url)
+        client.health()  # warm the loop and the executor
+        sockets: list[socket.socket] = []
+        try:
+            for _ in range(target):
+                sockets.append(socket.create_connection((server.host, server.port)))
+            deadline = time.monotonic() + 30.0
+            while server.connection_count < target and time.monotonic() < deadline:
+                time.sleep(0.01)
+            registered = server.connection_count
+            thread_growth = threading.active_count() - threads_before
+            alive = client.health()["status"] == "ok"  # still answering
+        finally:
+            for sock in sockets:
+                sock.close()
+        client.close()
+    return {
+        "fd_soft_limit": soft,
+        "target": target,
+        "concurrent_connections": registered,
+        "thread_growth": thread_growth,
+        "workers": ASYNC_WORKERS,
+        "served_while_loaded": alive,
+    }
+
+
+def bench_throughput(server) -> dict:
     """Sustained warm req/s under concurrent keep-alive clients."""
     axis = list(range(48, 1048, 4))  # distinct from the latency axis
     ServiceClient(server.url).allocation_curve(
@@ -146,7 +264,7 @@ def bench_throughput(server: SweepServer) -> dict:
     }
 
 
-def bench_dedup(server: SweepServer) -> dict:
+def bench_dedup(server) -> dict:
     """Concurrent identical cold requests: how many avoided a compute?"""
     before = server.stats_payload()
     axis = list(range(100, 1400, 3))  # distinct from the latency axis: cold
@@ -189,15 +307,28 @@ def bench_dedup(server: SweepServer) -> dict:
 
 
 def run_bench(output_path: Path | None = None) -> dict:
+    latency: dict[str, dict] = {}
+    pipelining: dict[str, dict] = {}
+    for backend in ("thread", "asyncio"):
+        with _make_server(backend) as server:
+            latency[backend] = bench_latency(server)
+            pipelining[backend] = bench_pipelining(server)
+    connections = bench_connections()
     with SweepServer(port=0) as server:
-        payload = {
-            "bench": "service",
-            "latency": bench_latency(server),
-            "throughput": bench_throughput(server),
-            "dedup": bench_dedup(server),
-            "min_dedup_ratio": MIN_DEDUP_RATIO,
-            "max_wire_overhead_ratio": MAX_WIRE_OVERHEAD_RATIO,
-        }
+        throughput = bench_throughput(server)
+        dedup = bench_dedup(server)
+    payload = {
+        "bench": "service",
+        "latency": latency,
+        "pipelining": pipelining,
+        "connections": connections,
+        "throughput": throughput,
+        "dedup": dedup,
+        "min_dedup_ratio": MIN_DEDUP_RATIO,
+        "max_wire_overhead_ratio": MAX_WIRE_OVERHEAD_RATIO,
+        "min_pipeline_speedup": MIN_PIPELINE_SPEEDUP,
+        "connection_target": CONNECTION_TARGET,
+    }
     path = output_path or (default_results_dir() / "BENCH_service.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -205,38 +336,87 @@ def run_bench(output_path: Path | None = None) -> dict:
     return payload
 
 
+def _check_gates(payload: dict) -> list[str]:
+    """Every failed gate as a human-readable line (empty means PASS)."""
+    failures = []
+    for backend, latency in payload["latency"].items():
+        if latency["last_served"] != "memory":
+            failures.append(f"{backend}: warm request was not a memory hit")
+        if latency["protocol"] != "frame":
+            failures.append(f"{backend}: client fell back off the binary frame")
+        if latency["wire_overhead_ratio"] > MAX_WIRE_OVERHEAD_RATIO:
+            failures.append(
+                f"{backend}: wire overhead {latency['wire_overhead_ratio']:.2f}x "
+                f"direct exceeds {MAX_WIRE_OVERHEAD_RATIO}x"
+            )
+    pipe = payload["pipelining"]["asyncio"]
+    if pipe["speedup"] < MIN_PIPELINE_SPEEDUP:
+        failures.append(
+            f"asyncio: pipelined speedup {pipe['speedup']:.2f}x "
+            f"below {MIN_PIPELINE_SPEEDUP}x sequential"
+        )
+    conn = payload["connections"]
+    if conn["target"] >= CONNECTION_TARGET:
+        if conn["concurrent_connections"] < CONNECTION_TARGET:
+            failures.append(
+                f"asyncio held {conn['concurrent_connections']} concurrent "
+                f"connections, below {CONNECTION_TARGET}"
+            )
+    else:  # the box's fd hard limit kept us from even trying
+        failures.append(
+            f"fd limit {conn['fd_soft_limit']} too low to attempt "
+            f"{CONNECTION_TARGET} connections (tried {conn['target']})"
+        )
+    if conn["thread_growth"] > conn["workers"] + 4:
+        failures.append(
+            f"asyncio grew {conn['thread_growth']} threads under "
+            f"{conn['concurrent_connections']} connections "
+            f"(bound: workers={conn['workers']} + 4)"
+        )
+    if not conn["served_while_loaded"]:
+        failures.append("asyncio stopped answering under idle connection load")
+    if payload["dedup"]["dedup_ratio"] < MIN_DEDUP_RATIO:
+        failures.append(
+            f"dedup ratio {payload['dedup']['dedup_ratio']:.3f} "
+            f"below {MIN_DEDUP_RATIO}"
+        )
+    if payload["throughput"]["requests_per_second"] <= 0:
+        failures.append("throughput bench recorded zero req/s")
+    return failures
+
+
 def test_bench_service(results_dir):
     payload = run_bench(results_dir / "BENCH_service.json")
     print()
     print(json.dumps(payload, indent=2))
-    dedup = payload["dedup"]
-    assert dedup["dedup_ratio"] >= MIN_DEDUP_RATIO, dedup
-    latency = payload["latency"]
-    assert latency["last_served"] == "memory"
-    assert latency["protocol"] == "frame"
-    assert latency["wire_overhead_ratio"] <= MAX_WIRE_OVERHEAD_RATIO, latency
-    assert payload["throughput"]["requests_per_second"] > 0
+    failures = _check_gates(payload)
+    assert not failures, "\n".join(failures)
 
 
 if __name__ == "__main__":
     report = run_bench()
     json.dump(report, sys.stdout, indent=2)
     print()
-    ratio = report["dedup"]["dedup_ratio"]
-    wire = report["latency"]["wire_overhead_ratio"]
-    ok = ratio >= MIN_DEDUP_RATIO and wire <= MAX_WIRE_OVERHEAD_RATIO
+    failures = _check_gates(report)
+    for backend in ("thread", "asyncio"):
+        latency = report["latency"][backend]
+        pipe = report["pipelining"][backend]
+        print(
+            f"{backend}: warm {latency['warm_server_seconds'] * 1e3:.2f} ms "
+            f"({latency['protocol']}) vs direct "
+            f"{latency['warm_direct_seconds'] * 1e3:.2f} ms "
+            f"(wire {latency['wire_overhead_ratio']:.2f}x); "
+            f"pipelined {pipe['pipelined_rps']:.0f} req/s vs sequential "
+            f"{pipe['sequential_rps']:.0f} req/s ({pipe['speedup']:.2f}x)"
+        )
+    conn = report["connections"]
     print(
-        f"dedup ratio {ratio:.3f} over {report['dedup']['requests']} concurrent "
-        f"identical requests ({'PASS' if ratio >= MIN_DEDUP_RATIO else 'FAIL'} "
-        f">= {MIN_DEDUP_RATIO}); "
-        f"warm server request {report['latency']['warm_server_seconds'] * 1e3:.2f} ms "
-        f"({report['latency']['protocol']}) vs "
-        f"{report['latency']['warm_server_json_seconds'] * 1e3:.2f} ms (json) vs "
-        f"direct {report['latency']['warm_direct_seconds'] * 1e3:.2f} ms — "
-        f"wire overhead {wire:.2f}x direct "
-        f"({'PASS' if wire <= MAX_WIRE_OVERHEAD_RATIO else 'FAIL'} "
-        f"<= {MAX_WIRE_OVERHEAD_RATIO}); "
-        f"{report['throughput']['requests_per_second']:.0f} req/s sustained over "
-        f"{report['throughput']['clients']} keep-alive clients"
+        f"asyncio held {conn['concurrent_connections']} idle connections "
+        f"(+{conn['thread_growth']} threads, {conn['workers']} workers); "
+        f"dedup ratio {report['dedup']['dedup_ratio']:.3f}; "
+        f"{report['throughput']['requests_per_second']:.0f} req/s sustained"
     )
-    sys.exit(0 if ok else 1)
+    for line in failures:
+        print(f"FAIL: {line}")
+    print("PASS" if not failures else f"{len(failures)} gate(s) failed")
+    sys.exit(0 if not failures else 1)

@@ -523,6 +523,28 @@ class SweepCache:
         # back the same kind of object.
         return self.store(key, compute())
 
+    def flush(self) -> int:
+        """Write memory-tier entries missing on disk; returns the count.
+
+        :meth:`store` already writes through to disk synchronously, so
+        this is normally a no-op — it exists for graceful shutdown,
+        where entries whose disk twin was evicted (the disk tier's LRU
+        bound is independent of memory's) or whose write failed
+        transiently get one more chance to survive the restart.  A
+        memory-only cache (no ``cache_dir``) flushes nothing.
+        """
+        if self.cache_dir is None:
+            return 0
+        with self._lock:
+            snapshot = list(self._memory.items())
+        written = 0
+        for key, value in snapshot:
+            path = self._disk_path(key)
+            if path is not None and not path.exists():
+                self._disk_put(key, value)
+                written += 1
+        return written
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._memory)

@@ -576,24 +576,45 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import SweepServer
+    import signal
 
-    server = SweepServer(
+    from repro.service import AsyncSweepServer, SweepServer
+
+    common = dict(
         host=args.host,
         port=args.port,
         cache_dir=None if args.cache_dir is None else str(args.cache_dir),
         max_cache_mb=args.max_cache_mb,
         jobs=args.jobs,
         batch_window_s=args.batch_window,
+        read_timeout_s=args.read_timeout,
+        drain_timeout_s=args.drain_timeout,
     )
+    if args.backend == "asyncio":
+        # The asyncio backend installs its own SIGTERM/SIGINT handlers
+        # on the loop; serve_forever returns after drain + flush.
+        server: AsyncSweepServer | SweepServer = AsyncSweepServer(
+            workers=args.workers, **common
+        )
+    else:
+        server = SweepServer(**common)
+
+        # SIGTERM drains the same way ^C does: serve_forever unwinds
+        # through the KeyboardInterrupt path into close() below.
+        def _sigterm(signum: int, frame: object) -> None:
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, _sigterm)
     bound = "unbounded" if args.max_cache_mb is None else f"{args.max_cache_mb:g} MiB/tier"
     store = "memory only" if args.cache_dir is None else str(args.cache_dir)
-    print(f"repro sweep server listening on {server.url}", flush=True)
+    print(
+        f"repro sweep server ({args.backend}) listening on {server.url}", flush=True
+    )
     print(f"store: {store} ({bound}); GET /v1/stats for counters", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("shutting down")
+        print("shutting down (draining in-flight requests)")
     finally:
         server.close()
     return 0
@@ -749,6 +770,31 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.005,
         help="seconds a cold request waits to micro-batch compatible traffic",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("thread", "asyncio"),
+        default="thread",
+        help="transport: one thread per connection (thread) or one event "
+        "loop + a bounded compute pool (asyncio)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="compute threads for --backend asyncio (shared by all connections)",
+    )
+    serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=60.0,
+        help="seconds before an idle or half-open connection is closed",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a graceful shutdown waits for in-flight requests",
     )
     serve.set_defaults(func=_cmd_serve)
 

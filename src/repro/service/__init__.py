@@ -11,6 +11,12 @@ function over JSON-over-HTTP with nothing beyond the standard library:
   stencil, partition kind, and tolerances, different grid axes — are
   micro-batched onto a single vectorized analysis call whose
   per-request slices are bit-identical to computing each alone.
+* :class:`AsyncSweepServer` (``repro serve --backend asyncio``) — the
+  same service core on an ``asyncio`` event loop: thousands of idle
+  keep-alive connections without per-connection threads, HTTP/1.1
+  pipelining with in-order responses and read backpressure, compute on
+  a bounded thread pool.  Responses are byte-identical to the threaded
+  backend's.
 * :class:`ServiceClient` — typed requests (allocation curves, capacity
   plans, raw sweeps) with exact ``float`` round-tripping, so a curve
   fetched from the daemon equals the offline computation byte for byte.
@@ -41,16 +47,19 @@ response's ``served`` field says how (``memory``/``disk``/``coalesced``
 /``batched``/``computed``).
 """
 
+from repro.service.aserver import AsyncSweepServer
 from repro.service.client import RemoteSweepCache, ServiceClient, ServiceError
 from repro.service.frame import FRAME_CONTENT_TYPE, FrameError, decode_frame, encode_frame, frame_bytes
 from repro.service.schema import decode_arrays, encode_arrays
-from repro.service.server import SweepServer
+from repro.service.server import ServiceCore, SweepServer
 
 __all__ = [
     "FRAME_CONTENT_TYPE",
+    "AsyncSweepServer",
     "FrameError",
     "RemoteSweepCache",
     "ServiceClient",
+    "ServiceCore",
     "ServiceError",
     "SweepServer",
     "decode_arrays",

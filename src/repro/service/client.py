@@ -22,6 +22,19 @@ Protocol: array responses are negotiated per request.  The client sends
 (:mod:`repro.service.frame`), an old server answers base64-JSON and the
 client decodes that instead, transparently.  ``last_protocol`` records
 which path the most recent compute took.
+
+Retries back off with *full jitter*: the nth retry sleeps a uniform
+random duration in ``[0, backoff_s * 2**n]`` rather than the
+deterministic cap, so a fleet of clients reconnecting to a restarted
+daemon spreads out instead of stampeding in lockstep.  Tests inject a
+seeded :class:`random.Random` to keep the schedule exact.
+
+Pipelining: :meth:`ServiceClient.compute_many` sends up to ``pipeline``
+requests down one pooled keep-alive socket before reading the first
+response (HTTP/1.1 pipelining).  Against the asyncio backend the
+requests compute concurrently on the server's worker pool while the
+responses come back in order — one connection, no client threads, and
+the per-request round trip amortized across the window.
 """
 
 from __future__ import annotations
@@ -29,11 +42,12 @@ from __future__ import annotations
 import http.client
 import io
 import json
+import random
 import socket
 import threading
 import time
 import urllib.parse
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -124,6 +138,57 @@ class _ConnectionPool:
             connection.close()
 
 
+class _SocketReader:
+    """Minimal buffered HTTP/1.1 response reader for the pipelined path.
+
+    ``http.client`` insists on one response per ``request()`` call;
+    pipelining needs N responses off one socket without touching its
+    state machine.  This reader parses exactly what the sweep daemon
+    sends — a status line, headers, and a ``Content-Length`` body — and
+    leaves any unconsumed bytes buffered for the next response.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buffer = bytearray()
+
+    @property
+    def clean(self) -> bool:
+        """No leftover bytes — the socket is safe to return to the pool."""
+        return not self._buffer
+
+    def _fill(self) -> None:
+        chunk = self._sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("server closed the connection mid-pipeline")
+        self._buffer += chunk
+
+    def read_response(self) -> tuple[int, str, bytes, bool]:
+        """One pipelined response: ``(status, content_type, body, close)``."""
+        while True:
+            end = self._buffer.find(b"\r\n\r\n")
+            if end >= 0:
+                break
+            self._fill()
+        lines = bytes(self._buffer[:end]).decode("latin-1").split("\r\n")
+        del self._buffer[: end + 4]
+        parts = lines[0].split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise http.client.BadStatusLine(lines[0])
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _sep, value = line.partition(":")
+            headers[name.lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        while len(self._buffer) < length:
+            self._fill()
+        body = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        close = "close" in headers.get("connection", "").lower()
+        return status, headers.get("content-type", ""), body, close
+
+
 class ServiceClient:
     """HTTP client for a running :class:`~repro.service.SweepServer`.
 
@@ -138,9 +203,12 @@ class ServiceClient:
         beyond this open (and afterwards discard) extra sockets.
     retries, backoff_s:
         Bounded retry budget for transient transport errors on the
-        idempotent surface, with exponential backoff starting at
-        ``backoff_s``.  ``retries=0`` disables everything except the
-        single stale-socket replay that keep-alive pooling requires.
+        idempotent surface.  The nth retry sleeps a full-jitter
+        uniform duration in ``[0, backoff_s * 2**n]``, so concurrent
+        clients retrying a restarted daemon spread out instead of
+        stampeding in lockstep.  ``retries=0`` disables everything
+        except the single stale-socket replay that keep-alive pooling
+        requires.
     retry_non_idempotent:
         Extend the retry budget (and the stale-socket replay) to PUTs.
         Off by default; safe to enable against the sweep daemon, whose
@@ -148,6 +216,14 @@ class ServiceClient:
     binary:
         Offer the zero-copy binary frame on array requests.  The JSON
         fallback is automatic either way; ``binary=False`` forces it.
+    pipeline:
+        Default HTTP/1.1 pipelining depth for :meth:`compute_many`:
+        how many requests ride one socket before the first response is
+        read.  ``1`` (the default) keeps every call strictly
+        request-response.
+    rng:
+        Source of retry jitter; inject a seeded :class:`random.Random`
+        to make the backoff schedule deterministic (tests).
     """
 
     def __init__(
@@ -159,6 +235,8 @@ class ServiceClient:
         backoff_s: float = 0.05,
         retry_non_idempotent: bool = False,
         binary: bool = True,
+        pipeline: int = 1,
+        rng: random.Random | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         target = self.base_url if "://" in self.base_url else f"http://{self.base_url}"
@@ -173,6 +251,8 @@ class ServiceClient:
         self.backoff_s = float(backoff_s)
         self.retry_non_idempotent = bool(retry_non_idempotent)
         self.binary = bool(binary)
+        self.pipeline = max(1, int(pipeline))
+        self._rng = rng if rng is not None else random.Random()
         self._prefix = split.path.rstrip("/")
         self._pool = _ConnectionPool(
             split.hostname or "127.0.0.1", split.port or 80, timeout, pool_size
@@ -206,6 +286,16 @@ class ServiceClient:
         with self._lock:
             return self._server_frames is not False
 
+    def _retry_delay(self, attempt: int) -> float:
+        """Full-jitter backoff: uniform over ``[0, backoff_s * 2**attempt]``.
+
+        The *cap* grows exponentially; the draw is uniform below it, so
+        N clients that all failed at the same instant retry at N
+        different times.  Deterministic under an injected seeded
+        ``rng``.
+        """
+        return self._rng.uniform(0.0, self.backoff_s * (2.0**attempt))
+
     def _request(
         self,
         path: str,
@@ -232,7 +322,6 @@ class ServiceClient:
         replayable = idempotent or self.retry_non_idempotent
         attempts = 0
         replays = 0
-        delay = self.backoff_s
         while True:
             connection, pooled = self._pool.acquire()
             try:
@@ -250,9 +339,8 @@ class ServiceClient:
                     replays += 1  # a stale keep-alive socket, not a failure
                     continue
                 if replayable and attempts < self.retries:
+                    time.sleep(self._retry_delay(attempts))
                     attempts += 1
-                    time.sleep(delay)
-                    delay *= 2.0
                     continue
                 raise ServiceError(
                     f"sweep server unreachable at {self.base_url}: "
@@ -299,25 +387,22 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         return self._json("/v1/stats")
 
-    def compute(self, payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
-        """POST one request; returns the named arrays, bit-exact.
-
-        The response encoding is whatever the negotiation yielded: the
-        binary frame from a frame-capable server, base64-JSON otherwise.
-        Either way the array bytes are identical.
-        """
-        accept = (
+    def _compute_accept(self) -> str:
+        return (
             f"{FRAME_CONTENT_TYPE}, application/json"
             if self.binary
             else "application/json"
         )
-        status, ctype, body = self._request(
-            "/v1/compute",
-            json.dumps(payload).encode(),
-            method="POST",
-            content_type="application/json",
-            accept=accept,
-        )
+
+    def _decode_compute_response(
+        self, status: int, ctype: str, body: bytes
+    ) -> dict[str, np.ndarray]:
+        """Decode one ``/v1/compute`` response, whatever protocol it took.
+
+        Shared by the sequential and pipelined paths, so both see the
+        same negotiation, the same errors, and the same
+        ``last_served``/``last_protocol`` observability.
+        """
         if ctype.startswith(FRAME_CONTENT_TYPE):
             try:
                 arrays, meta = decode_frame(body)
@@ -335,6 +420,144 @@ class ServiceClient:
         self.last_served = decoded.get("served")
         self.last_protocol = "json"
         return decode_arrays(decoded["arrays"])
+
+    def compute(self, payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
+        """POST one request; returns the named arrays, bit-exact.
+
+        The response encoding is whatever the negotiation yielded: the
+        binary frame from a frame-capable server, base64-JSON otherwise.
+        Either way the array bytes are identical.
+        """
+        status, ctype, body = self._request(
+            "/v1/compute",
+            json.dumps(payload).encode(),
+            method="POST",
+            content_type="application/json",
+            accept=self._compute_accept(),
+        )
+        return self._decode_compute_response(status, ctype, body)
+
+    # ------------------------------------------------------------- pipelining
+
+    def _raw_compute_request(self, body: bytes) -> bytes:
+        """One ``/v1/compute`` POST as raw wire bytes (pipelined path)."""
+        return (
+            f"POST {self._prefix}/v1/compute HTTP/1.1\r\n"
+            f"Host: {self._pool.host}:{self._pool.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Accept: {self._compute_accept()}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        ).encode("ascii") + body
+
+    def _pipeline_once(
+        self, requests: list[bytes], depth: int
+    ) -> list[tuple[int, str, bytes]]:
+        """One pipelined pass over a pooled socket; raises on transport loss.
+
+        Keeps a sliding window: at most ``depth`` requests are on the
+        wire ahead of the responses read back, which matches the
+        server's own per-connection in-flight bound instead of blasting
+        the whole batch blind.
+        """
+        # A stale pooled socket surfaces as a transport error here and is
+        # replayed by compute_many under the same bound as _request.
+        connection, _pooled = self._pool.acquire()
+        try:
+            if connection.sock is None:
+                connection.connect()
+            sock = connection.sock
+            assert sock is not None  # connect() either sets it or raises
+            reader = _SocketReader(sock)
+            results: list[tuple[int, str, bytes]] = []
+            sent = 0
+            closed = False
+            while len(results) < len(requests):
+                while sent < len(requests) and sent - len(results) < depth:
+                    sock.sendall(requests[sent])
+                    sent += 1
+                status, ctype, body, closed = reader.read_response()
+                results.append((status, ctype, body))
+                if closed and len(results) < len(requests):
+                    raise ConnectionError(
+                        "server closed the connection mid-pipeline"
+                    )
+            if closed or not reader.clean:
+                connection.close()
+            else:
+                # Every response byte was consumed: the keep-alive
+                # socket is position-clean and reusable.  (http.client
+                # never touched it, so the connection object is too.)
+                self._pool.release(connection)
+            return results
+        except BaseException:
+            connection.close()
+            raise
+
+    def compute_many(
+        self,
+        payloads: Sequence[Mapping[str, Any]],
+        pipeline: int | None = None,
+    ) -> list[dict[str, np.ndarray]]:
+        """POST many requests, pipelined; one result list, request order.
+
+        With ``pipeline`` (or the constructor default) above 1, up to
+        that many requests are written to one pooled keep-alive socket
+        before the first response is read — the server computes them
+        concurrently and streams the responses back in order.  Each
+        result is decoded exactly as :meth:`compute` would decode it;
+        a request the server rejected raises :class:`ServiceError`
+        naming its index.
+
+        ``/v1/compute`` is pure (same request, same bytes), so a
+        transport failure mid-pipeline replays the whole batch under
+        the same stale-socket-then-bounded-retries contract as
+        :meth:`_request`.
+        """
+        depth = self.pipeline if pipeline is None else max(1, int(pipeline))
+        if not payloads:
+            return []
+        if depth <= 1 or len(payloads) == 1:
+            return [self.compute(payload) for payload in payloads]
+        requests = [
+            self._raw_compute_request(json.dumps(payload).encode())
+            for payload in payloads
+        ]
+        attempts = 0
+        replays = 0
+        while True:
+            try:
+                responses = self._pipeline_once(requests, depth)
+                break
+            except TimeoutError:
+                raise ServiceError(
+                    f"sweep server timed out at {self.base_url} after {self.timeout}s"
+                ) from None
+            except _TRANSIENT_ERRORS as exc:
+                if replays <= self._pool.size:
+                    replays += 1  # a stale keep-alive socket, not a failure
+                    continue
+                if attempts < self.retries:
+                    time.sleep(self._retry_delay(attempts))
+                    attempts += 1
+                    continue
+                raise ServiceError(
+                    f"sweep server unreachable at {self.base_url}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from None
+            except OSError as exc:
+                raise ServiceError(
+                    f"sweep server unreachable at {self.base_url}: {exc}"
+                ) from None
+        results: list[dict[str, np.ndarray]] = []
+        for index, (status, ctype, body) in enumerate(responses):
+            try:
+                results.append(self._decode_compute_response(status, ctype, body))
+            except ServiceError as exc:
+                raise ServiceError(
+                    f"pipelined request {index} of {len(responses)} failed: {exc}"
+                ) from None
+        return results
 
     def allocation_curve(
         self,

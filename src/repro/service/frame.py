@@ -44,6 +44,7 @@ __all__ = [
     "FrameError",
     "encode_frame",
     "frame_bytes",
+    "frame_length",
     "decode_frame",
 ]
 
@@ -124,6 +125,16 @@ def frame_bytes(
 ) -> bytes:
     """The whole frame as one ``bytes`` (tests, single-buffer writers)."""
     return b"".join(bytes(c) for c in encode_frame(arrays, meta))
+
+
+def frame_length(chunks: list[bytes | memoryview]) -> int:
+    """Total byte length of a chunk list — the response Content-Length.
+
+    Computed without touching the chunk contents, so a server can write
+    the header before concatenating (or instead of concatenating)
+    anything.
+    """
+    return sum(len(chunk) for chunk in chunks)
 
 
 def _entry_field(entry: Any, field: str, index: int) -> Any:

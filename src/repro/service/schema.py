@@ -18,6 +18,7 @@ the network.
 from __future__ import annotations
 
 import base64
+import json
 from typing import Any, Mapping
 
 import numpy as np
@@ -33,6 +34,8 @@ from repro.stencils.perimeter import PartitionKind
 __all__ = [
     "encode_arrays",
     "decode_arrays",
+    "json_body",
+    "error_body",
     "allocation_payload",
     "plan_payload",
     "sweep_payload",
@@ -68,6 +71,26 @@ def decode_arrays(payload: Mapping[str, Any]) -> dict[str, np.ndarray]:
         array = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
         out[name] = array.reshape(tuple(spec["shape"])).copy()
     return out
+
+
+# --------------------------------------------------------------------------
+# Response envelopes (server side, shared by both backends)
+# --------------------------------------------------------------------------
+
+
+def json_body(payload: Mapping[str, Any]) -> bytes:
+    """One JSON response body, canonically serialized.
+
+    Both server backends build every JSON response through this one
+    function, so for the same payload their bodies are byte-identical —
+    the cross-backend parity suite rests on it.
+    """
+    return json.dumps(payload).encode("utf-8")
+
+
+def error_body(message: str, status: str = "error") -> bytes:
+    """The service's error envelope: ``{"status": "error", "error": …}``."""
+    return json_body({"status": status, "error": message})
 
 
 # --------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""The sweep server: a threaded daemon over one shared, bounded cache.
+"""The sweep server: one service core, pluggable HTTP transports.
 
 Request lifecycle for ``POST /v1/compute``:
 
@@ -26,11 +26,30 @@ Request lifecycle for ``POST /v1/compute``:
 
 Endpoints::
 
-    GET  /healthz             liveness + supported protocols
+    GET  /healthz             liveness + protocols + backend + timeouts
     GET  /v1/stats            cache + coalescing counters
     GET  /v1/cache/<key>      one entry (npz, or a binary frame when asked)
     PUT  /v1/cache/<key>      insert one entry (npz or binary-frame body)
     POST /v1/compute          allocation_curve | plan | sweep requests
+
+Everything above lives in :class:`ServiceCore`, which is
+transport-agnostic: it turns ``(method, path, headers, body)`` into a
+:class:`Response` (status, content type, body chunks) and knows nothing
+about sockets.  Two transports drive it:
+
+* :class:`SweepServer` (this module) — the threaded backend: stdlib
+  ``ThreadingHTTPServer``, one OS thread per connection.  Simple,
+  battle-tested, and the right tool up to a few hundred connections.
+* :class:`~repro.service.aserver.AsyncSweepServer` — the ``asyncio``
+  backend: an event loop owns every socket (thousands of idle
+  keep-alive connections cost no threads), parses pipelined HTTP/1.1
+  requests incrementally, and offloads each request's compute to a
+  bounded worker pool.  Selected with ``repro serve --backend asyncio``.
+
+Because both backends call the same :class:`ServiceCore` methods with
+the same bytes, their response bodies are byte-identical and their
+``/v1/stats`` counters move identically for the same request stream —
+the cross-backend parity suite pins this.
 
 The handler speaks HTTP/1.1 with keep-alive: every response carries a
 ``Content-Length``, so a client can hold one connection open across
@@ -40,6 +59,15 @@ responses are negotiated: a request whose ``Accept`` names
 (:mod:`repro.service.frame`) — the arrays' buffers are written straight
 to the socket, no base64, no JSON number formatting — while everything
 else gets the original JSON encoding, byte-identical to older servers.
+
+Lifecycle: both backends drain gracefully.  ``close()`` (or SIGTERM via
+``repro serve``) stops accepting new connections, rejects new requests
+with a 503 while waiting up to ``drain_timeout_s`` for in-flight
+computes to finish and their responses to be written, then flushes the
+cache's memory tier to disk so a restart warm-starts.  Idle and
+half-open connections (a slowloris client sending half a header and
+stalling) are closed after ``read_timeout_s`` on both backends; the
+timeout is advertised in ``/healthz``.
 """
 
 from __future__ import annotations
@@ -62,17 +90,41 @@ from repro.graph import nodes as graph_nodes
 from repro.graph.executors import NumpyExecutor
 from repro.graph.nodes import Node
 from repro.graph.planner import plan as plan_graph
-from repro.service.frame import FRAME_CONTENT_TYPE, FrameError, decode_frame, encode_frame
+from repro.service.frame import (
+    FRAME_CONTENT_TYPE,
+    FrameError,
+    decode_frame,
+    encode_frame,
+    frame_length,
+)
 from repro.service.schema import (
     encode_arrays,
+    error_body,
+    json_body,
     parse_allocation,
     parse_plan,
     parse_sweep,
 )
 
-__all__ = ["SweepServer", "DEFAULT_PORT"]
+__all__ = [
+    "Response",
+    "ServiceCore",
+    "SweepServer",
+    "DEFAULT_PORT",
+    "DEFAULT_READ_TIMEOUT_S",
+    "DEFAULT_DRAIN_TIMEOUT_S",
+]
 
 DEFAULT_PORT = 8733
+
+#: Idle/half-open connections (a client that sent half a request header
+#: and stalled, or a keep-alive socket nobody uses) are closed after
+#: this many seconds on both backends — slowloris hardening.
+DEFAULT_READ_TIMEOUT_S = 60.0
+
+#: How long a graceful shutdown waits for in-flight requests to finish
+#: before giving up on them.
+DEFAULT_DRAIN_TIMEOUT_S = 10.0
 
 #: Fingerprints are SHA-256 hex digests; anything else never names a
 #: cache entry and must not reach the filesystem layer.
@@ -89,6 +141,38 @@ _SHARD_THRESHOLD = 256
 _REQUEST_KEY_MEMO_MAX = 512
 
 
+class Response:
+    """One transport-agnostic HTTP response: status, type, body chunks.
+
+    ``chunks`` is a list of ``bytes``/``memoryview`` pieces whose
+    concatenation is the body — binary frames keep their zero-copy
+    memoryview chunks all the way to the socket write.  ``close`` asks
+    the transport to hang up after writing (protocol errors, draining).
+    """
+
+    __slots__ = ("status", "content_type", "chunks", "close")
+
+    def __init__(
+        self,
+        status: int,
+        content_type: str,
+        chunks: list[bytes | memoryview],
+        close: bool = False,
+    ) -> None:
+        self.status = status
+        self.content_type = content_type
+        self.chunks = chunks
+        self.close = close
+
+    @property
+    def content_length(self) -> int:
+        return frame_length(self.chunks)
+
+    def body_bytes(self) -> bytes:
+        """The whole body as one ``bytes`` (tests, small responses)."""
+        return b"".join(bytes(c) for c in self.chunks)
+
+
 class _Flight:
     """One in-flight computation: late twins wait on it instead of working."""
 
@@ -100,14 +184,18 @@ class _Flight:
         self.error: str | None = None
 
 
-class SweepServer:
-    """``repro serve``: plan/optimize/sweep answers over a shared cache.
+class ServiceCore:
+    """The transport-agnostic sweep service: routing, cache, coalescing.
+
+    Both backends — the threaded :class:`SweepServer` and the asyncio
+    :class:`~repro.service.aserver.AsyncSweepServer` — drive this one
+    class: :meth:`handle_request` turns ``(method, path, headers,
+    body)`` into a :class:`Response`, so the parse → fingerprint →
+    coalesce → micro-batch → serve path is shared verbatim and the two
+    backends cannot drift.
 
     Parameters
     ----------
-    host, port:
-        Bind address; ``port=0`` picks an ephemeral port (tests, the
-        benchmark harness).
     cache_dir, max_cache_mb:
         The shared store: optional ``.npz`` directory and the per-tier
         LRU bound (MiB) — both forwarded to :class:`SweepCache`.
@@ -118,22 +206,33 @@ class SweepServer:
         How long the first cold allocation request of a compatible
         group waits for co-batchable traffic before computing.  Zero
         disables micro-batching (coalescing still applies).
+    read_timeout_s:
+        Idle/half-open connections are closed after this many seconds
+        (slowloris hardening); advertised in ``/healthz``.
+    drain_timeout_s:
+        Graceful-shutdown bound: how long :meth:`drain` waits for
+        in-flight requests before giving up.
     """
+
+    #: Transport name advertised in ``/healthz`` — subclasses override.
+    backend = "core"
 
     def __init__(
         self,
-        host: str = "127.0.0.1",
-        port: int = DEFAULT_PORT,
         cache_dir: str | None = None,
         max_cache_mb: float | None = None,
         jobs: int = 1,
         batch_window_s: float = 0.005,
         compute_timeout_s: float = 600.0,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
     ) -> None:
         self.cache = SweepCache(cache_dir, max_bytes=max_cache_bytes(max_cache_mb))
         self.jobs = max(1, int(jobs))
         self.batch_window_s = float(batch_window_s)
         self.compute_timeout_s = float(compute_timeout_s)
+        self.read_timeout_s = float(read_timeout_s)
+        self.drain_timeout_s = float(drain_timeout_s)
         self.started = time.time()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
@@ -142,7 +241,7 @@ class SweepServer:
         #: parsing, validation, and fingerprint hashing entirely.
         self._request_keys: OrderedDict[bytes, str] = OrderedDict()  # guarded-by: _request_keys_lock
         self._request_keys_lock = threading.Lock()
-        self._buckets: dict[tuple, list] = {}
+        self._buckets: dict[tuple[str, str], list[tuple[str, Node, _Flight]]] = {}
         self._batch_lock = threading.Lock()
         self._counters = {
             "requests": 0,
@@ -152,52 +251,55 @@ class SweepServer:
             "batched": 0,
         }
         self._counters_lock = threading.Lock()
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
-        self._httpd.app = self  # type: ignore[attr-defined]
-        self._thread: threading.Thread | None = None
+        # Graceful-shutdown state: requests in flight and the draining
+        # flag share one condition so drain() can wait for zero.
+        self._inflight_cv = threading.Condition()
+        self._inflight = 0  # guarded-by: _inflight_cv
+        self._draining = False  # guarded-by: _inflight_cv
 
-    # ---------------------------------------------------------------- address
+    # ------------------------------------------------------- request lifetime
+
+    def begin_request(self) -> bool:
+        """Admit one request; ``False`` once the server is draining."""
+        with self._inflight_cv:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def end_request(self) -> None:
+        """The matching exit: transports call this after the response."""
+        with self._inflight_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cv.notify_all()
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Stop admitting requests and wait for in-flight ones to finish.
+
+        Returns ``True`` when the server went quiet within the bound,
+        ``False`` on timeout (the remaining requests are abandoned to
+        their threads).  Idempotent — a second call just waits again.
+        """
+        bound = self.drain_timeout_s if timeout_s is None else float(timeout_s)
+        deadline = time.monotonic() + bound
+        with self._inflight_cv:
+            self._draining = True
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+            return True
 
     @property
-    def host(self) -> str:
-        return self._httpd.server_address[0]
+    def draining(self) -> bool:
+        with self._inflight_cv:
+            return self._draining
 
-    @property
-    def port(self) -> int:
-        return self._httpd.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
-
-    # ---------------------------------------------------------------- running
-
-    def serve_forever(self) -> None:
-        self._httpd.serve_forever()
-
-    def start_background(self) -> "SweepServer":
-        """Serve on a daemon thread (tests, benches, the quickstart)."""
-        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
-        self._thread.start()
-        return self
-
-    def shutdown(self) -> None:
-        self._httpd.shutdown()
-        self.close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-
-    def close(self) -> None:
-        """Release the listening socket (after ``serve_forever`` returns)."""
-        self._httpd.server_close()
-
-    def __enter__(self) -> "SweepServer":
-        return self.start_background()
-
-    def __exit__(self, *exc: object) -> None:
-        self.shutdown()
+    def flush(self) -> int:
+        """Flush the cache's memory tier to disk (graceful shutdown)."""
+        return self.cache.flush()
 
     # ------------------------------------------------------------ bookkeeping
 
@@ -311,7 +413,7 @@ class SweepServer:
         if key is None:
             return None
         arrays, level = self.cache.lookup_level(key)
-        if arrays is None:
+        if arrays is None or level is None:
             return None
         self._count("requests")
         self._count("hits")
@@ -341,13 +443,13 @@ class SweepServer:
     ) -> tuple[dict[str, np.ndarray], str]:
         """Cache → in-flight table → compute (or micro-batch) pipeline."""
         arrays, level = self.cache.lookup_level(key)
-        if arrays is not None:
+        if arrays is not None and level is not None:
             self._count("hits")
             return arrays, level
         with self._flights_lock:
             flight = self._flights.get(key)
             owner = flight is None
-            if owner:
+            if flight is None:
                 flight = _Flight()
                 self._flights[key] = flight
         if not owner:
@@ -515,18 +617,251 @@ class SweepServer:
         arrays, served = self._serve(key, compute=compute)
         return arrays, served, key
 
+    # ------------------------------------------------------- HTTP semantics
+
+    def _respond_json(
+        self, payload: Mapping[str, Any], status: int = 200
+    ) -> Response:
+        return Response(status, "application/json", [json_body(payload)])
+
+    def error_response(
+        self, message: str, status: int, close: bool = False
+    ) -> Response:
+        return Response(status, "application/json", [error_body(message)], close=close)
+
+    def _respond_frame(
+        self, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
+    ) -> Response:
+        """One binary frame: header chunk, then each array's own buffer.
+
+        The memoryview chunks alias the arrays — no base64, no JSON
+        number formatting, no per-array ``bytes`` materialization — and
+        ride untouched to the transport's socket write.
+        """
+        return Response(200, FRAME_CONTENT_TYPE, encode_frame(arrays, meta))
+
+    def _respond_arrays(
+        self, arrays: Mapping[str, np.ndarray], served: str, accept: str
+    ) -> Response:
+        if self._accepts_frame(accept):
+            return self._respond_frame(arrays, {"status": "ok", "served": served})
+        return self._respond_json(
+            {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
+        )
+
+    def _accepts_frame(self, accept: str) -> bool:
+        """Did the client negotiate the binary array frame?"""
+        return FRAME_CONTENT_TYPE in accept
+
+    @staticmethod
+    def _cache_key(path: str) -> str | None:
+        key = path[len("/v1/cache/") :]
+        return key if _KEY_RE.fullmatch(key) else None
+
+    def handle_request(
+        self, method: str, path: str, headers: Mapping[str, str], body: bytes
+    ) -> Response:
+        """Route one HTTP request; never raises.
+
+        ``headers`` uses lower-case keys (both transports normalize).
+        This is the single entry point both backends call — typically
+        from a worker thread, so everything here must stay thread-safe.
+        """
+        try:
+            if method == "GET":
+                return self._handle_get(path, headers)
+            if method == "PUT":
+                return self._handle_put(path, headers, body)
+            if method == "POST":
+                return self._handle_post(path, headers, body)
+            return self.error_response(f"unsupported method {method}", 501)
+        except Exception as exc:  # the transport must always get a response
+            return self.error_response(f"{type(exc).__name__}: {exc}", 500)
+
+    def _handle_get(self, path: str, headers: Mapping[str, str]) -> Response:
+        if path == "/healthz":
+            # ``protocols`` is the negotiation advertisement: a client
+            # probing an old server will not find "frame" here.
+            return self._respond_json(
+                {
+                    "status": "ok",
+                    "service": "repro-sweepd",
+                    "protocols": ["json", "frame"],
+                    "backend": self.backend,
+                    "read_timeout_s": self.read_timeout_s,
+                }
+            )
+        if path == "/v1/stats":
+            return self._respond_json({"status": "ok", **self.stats_payload()})
+        if path.startswith("/v1/cache/"):
+            key = self._cache_key(path)
+            if key is None:
+                return self.error_response("malformed cache key", 400)
+            arrays, _level = self.cache.lookup_level(key)
+            if arrays is None:
+                return self.error_response("no such entry", 404)
+            if self._accepts_frame(headers.get("accept", "")):
+                return self._respond_frame(arrays, {"status": "ok"})
+            buffer = io.BytesIO()
+            np.savez(buffer, **arrays)
+            return Response(200, "application/octet-stream", [buffer.getvalue()])
+        return self.error_response(f"no route {path}", 404)
+
+    def _handle_put(
+        self, path: str, headers: Mapping[str, str], body: bytes
+    ) -> Response:
+        if not path.startswith("/v1/cache/"):
+            return self.error_response(f"no route {path}", 404)
+        key = self._cache_key(path)
+        if key is None:
+            return self.error_response("malformed cache key", 400)
+        if headers.get("content-type", "").startswith(FRAME_CONTENT_TYPE):
+            try:
+                arrays, _meta = decode_frame(body)
+            except FrameError as exc:
+                return self.error_response(str(exc), 400)
+        else:
+            try:
+                with np.load(io.BytesIO(body), allow_pickle=False) as npz:
+                    arrays = {name: npz[name] for name in npz.files}
+            except Exception:
+                return self.error_response("body is not a readable .npz archive", 400)
+        self.cache.store(key, arrays)
+        return self._respond_json({"status": "ok", "stored": key})
+
+    def _handle_post(
+        self, path: str, headers: Mapping[str, str], body: bytes
+    ) -> Response:
+        if path != "/v1/compute":
+            return self.error_response(f"no route {path}", 404)
+        accept = headers.get("accept", "")
+        fast = self.fast_serve(body)
+        if fast is not None:
+            return self._respond_arrays(fast[0], fast[1], accept)
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            return self.error_response(f"bad JSON body: {exc}", 400)
+        try:
+            arrays, served, key = self.compute_with_key(payload)
+        except InvalidParameterError as exc:
+            return self.error_response(str(exc), 400)
+        except Exception as exc:  # compute failures are the server's 500s
+            return self.error_response(f"{type(exc).__name__}: {exc}", 500)
+        self.remember_request(body, key)
+        return self._respond_arrays(arrays, served, accept)
+
+
+class SweepServer(ServiceCore):
+    """``repro serve --backend thread``: the threaded transport.
+
+    One OS thread per connection on stdlib ``ThreadingHTTPServer``; the
+    default backend.  All request semantics live in the shared
+    :class:`ServiceCore` base.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (tests, the
+        benchmark harness).
+    **core keyword arguments**:
+        See :class:`ServiceCore`.
+    """
+
+    backend = "thread"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        cache_dir: str | None = None,
+        max_cache_mb: float | None = None,
+        jobs: int = 1,
+        batch_window_s: float = 0.005,
+        compute_timeout_s: float = 600.0,
+        read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+    ) -> None:
+        super().__init__(
+            cache_dir=cache_dir,
+            max_cache_mb=max_cache_mb,
+            jobs=jobs,
+            batch_window_s=batch_window_s,
+            compute_timeout_s=compute_timeout_s,
+            read_timeout_s=read_timeout_s,
+            drain_timeout_s=drain_timeout_s,
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ---------------------------------------------------------------- address
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ---------------------------------------------------------------- running
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start_background(self) -> "SweepServer":
+        """Serve on a daemon thread (tests, benches, the quickstart)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def close(self, drain_timeout_s: float | None = None) -> None:
+        """Graceful stop: close the listener, drain in-flight, flush.
+
+        Safe after ``serve_forever`` returned (the CLI path) and from
+        :meth:`shutdown` (the background-thread path).  New requests
+        racing the drain get a 503; requests already computing finish
+        and their responses are written before this returns (bounded by
+        ``drain_timeout_s``).
+        """
+        self._httpd.server_close()
+        self.drain(drain_timeout_s)
+        self.flush()
+
+    def __enter__(self) -> "SweepServer":
+        return self.start_background()
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
 
 # --------------------------------------------------------------------------
-# HTTP plumbing
+# HTTP plumbing (the threaded transport's adapter)
 # --------------------------------------------------------------------------
 
 
-#: Frames at most this large are coalesced into a single socket write;
-#: a warm hit's latency is syscalls and packets, not memcpy.
+#: Response bodies at most this large are coalesced into a single
+#: socket write; a warm hit's latency is syscalls and packets, not
+#: memcpy.
 _GATHER_BYTES = 256 * 1024
 
 
 class _Handler(BaseHTTPRequestHandler):
+    """Thin adapter: socket + HTTP parsing in, ``ServiceCore`` out."""
+
     server_version = "repro-sweepd/1"
     protocol_version = "HTTP/1.1"
     #: Keep-alive clients wait for every response byte before the next
@@ -535,153 +870,67 @@ class _Handler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
 
     @property
-    def app(self) -> SweepServer:
+    def app(self) -> ServiceCore:
         return self.server.app  # type: ignore[attr-defined]
+
+    def setup(self) -> None:
+        # The stdlib applies ``timeout`` as the connection's socket
+        # timeout; a stalled read (slowloris half-header, idle
+        # keep-alive) then raises and the connection is closed.
+        self.timeout = self.app.read_timeout_s
+        super().setup()
 
     def log_message(self, format: str, *args: object) -> None:
         pass  # the daemon is quiet; /v1/stats is the observability surface
 
     # ------------------------------------------------------------- responses
 
-    def _send_json(self, payload: Mapping[str, Any], status: int = 200) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+    def _write_response(self, response: Response) -> None:
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(response.content_length))
+        if response.close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, message: str, status: int) -> None:
-        self._send_json({"status": "error", "error": message}, status)
-
-    def _send_bytes(self, body: bytes) -> None:
-        self.send_response(200)
-        self.send_header("Content-Type", "application/octet-stream")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _accepts_frame(self) -> bool:
-        """Did the client negotiate the binary array frame?"""
-        return FRAME_CONTENT_TYPE in (self.headers.get("Accept") or "")
-
-    def _send_frame(
-        self, arrays: Mapping[str, np.ndarray], meta: Mapping[str, Any]
-    ) -> None:
-        """Write one binary frame: header, then each array's own buffer.
-
-        The memoryview chunks alias the arrays — no base64, no JSON
-        number formatting, no per-array ``bytes`` materialization.
-        Small frames are gathered into one socket write (a warm hit is
-        latency-bound on syscalls, not bandwidth); large ones stream
-        chunk by chunk so a big sweep never doubles in memory.
-        """
-        chunks = encode_frame(arrays, meta)
-        total = sum(len(c) for c in chunks)
-        self.send_response(200)
-        self.send_header("Content-Type", FRAME_CONTENT_TYPE)
-        self.send_header("Content-Length", str(total))
-        self.end_headers()
-        if total <= _GATHER_BYTES:
-            self.wfile.write(b"".join(bytes(c) for c in chunks))
+        if response.content_length <= _GATHER_BYTES:
+            self.wfile.write(response.body_bytes())
         else:
-            for chunk in chunks:
+            for chunk in response.chunks:
                 self.wfile.write(chunk)
-
-    def _send_arrays(self, arrays: Mapping[str, np.ndarray], served: str) -> None:
-        if self._accepts_frame():
-            self._send_frame(arrays, {"status": "ok", "served": served})
-        else:
-            self._send_json(
-                {"status": "ok", "served": served, "arrays": encode_arrays(arrays)}
-            )
 
     def _read_body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length)
 
-    def _cache_key(self) -> str | None:
-        key = self.path[len("/v1/cache/") :]
-        return key if _KEY_RE.fullmatch(key) else None
-
     # --------------------------------------------------------------- methods
 
-    def do_GET(self) -> None:
-        if self.path == "/healthz":
-            # ``protocols`` is the negotiation advertisement: a client
-            # probing an old server will not find "frame" here.
-            self._send_json(
-                {
-                    "status": "ok",
-                    "service": "repro-sweepd",
-                    "protocols": ["json", "frame"],
-                }
+    def _handle(self, method: str) -> None:
+        """One request through the shared core, bracketed for draining."""
+        if not self.app.begin_request():
+            self._write_response(
+                self.app.error_response("server is draining", 503, close=True)
             )
-        elif self.path == "/v1/stats":
-            self._send_json({"status": "ok", **self.app.stats_payload()})
-        elif self.path.startswith("/v1/cache/"):
-            key = self._cache_key()
-            if key is None:
-                self._send_error_json("malformed cache key", 400)
-                return
-            arrays, _level = self.app.cache.lookup_level(key)
-            if arrays is None:
-                self._send_error_json("no such entry", 404)
-                return
-            if self._accepts_frame():
-                self._send_frame(arrays, {"status": "ok"})
-                return
-            buffer = io.BytesIO()
-            np.savez(buffer, **arrays)
-            self._send_bytes(buffer.getvalue())
-        else:
-            self._send_error_json(f"no route {self.path}", 404)
+            return
+        try:
+            body = self._read_body()
+            headers = {key.lower(): value for key, value in self.headers.items()}
+            response = self.app.handle_request(method, self.path, headers, body)
+            self._write_response(response)
+        except TimeoutError:
+            # A client stalled mid-body: close quietly, like the
+            # stdlib does for a stalled request line.
+            self.close_connection = True
+        finally:
+            # After the write, so a graceful drain covers the response
+            # bytes, not just the compute.
+            self.app.end_request()
+
+    def do_GET(self) -> None:
+        self._handle("GET")
 
     def do_PUT(self) -> None:
-        if not self.path.startswith("/v1/cache/"):
-            self._send_error_json(f"no route {self.path}", 404)
-            return
-        key = self._cache_key()
-        if key is None:
-            self._send_error_json("malformed cache key", 400)
-            return
-        body = self._read_body()
-        if (self.headers.get("Content-Type") or "").startswith(FRAME_CONTENT_TYPE):
-            try:
-                arrays, _meta = decode_frame(body)
-            except FrameError as exc:
-                self._send_error_json(str(exc), 400)
-                return
-        else:
-            try:
-                with np.load(io.BytesIO(body), allow_pickle=False) as npz:
-                    arrays = {name: npz[name] for name in npz.files}
-            except Exception:
-                self._send_error_json("body is not a readable .npz archive", 400)
-                return
-        self.app.cache.store(key, arrays)
-        self._send_json({"status": "ok", "stored": key})
+        self._handle("PUT")
 
     def do_POST(self) -> None:
-        if self.path != "/v1/compute":
-            self._send_error_json(f"no route {self.path}", 404)
-            return
-        body = self._read_body()
-        fast = self.app.fast_serve(body)
-        if fast is not None:
-            self._send_arrays(*fast)
-            return
-        try:
-            payload = json.loads(body or b"{}")
-        except json.JSONDecodeError as exc:
-            self._send_error_json(f"bad JSON body: {exc}", 400)
-            return
-        try:
-            arrays, served, key = self.app.compute_with_key(payload)
-        except InvalidParameterError as exc:
-            self._send_error_json(str(exc), 400)
-        except Exception as exc:  # compute failures are the server's 500s
-            self._send_error_json(f"{type(exc).__name__}: {exc}", 500)
-        else:
-            self.app.remember_request(body, key)
-            self._send_arrays(arrays, served)
+        self._handle("POST")

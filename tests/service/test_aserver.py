@@ -1,0 +1,384 @@
+"""The asyncio transport: parser, timeouts, drains, cross-backend parity.
+
+The asyncio backend's contract is that it is *indistinguishable* from
+the threaded backend through the HTTP surface — byte-identical bodies,
+identical counters — while owning every socket from one event loop.
+These tests pin the parser (partial reads, pipelined buffers,
+malformed input), the slowloris read timeout on both backends, the
+graceful-shutdown drain (a slow request racing shutdown finishes; new
+requests 503), connection scalability without threads, and explicit
+byte parity across backends for every request kind and protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.batch.cache import SweepCache
+from repro.service import AsyncSweepServer, ServiceClient, SweepServer
+from repro.service.aserver import _HttpError, _RequestParser
+from repro.service.frame import FRAME_CONTENT_TYPE
+from repro.service.schema import allocation_payload, plan_payload, sweep_payload
+
+BACKENDS = {"thread": SweepServer, "asyncio": AsyncSweepServer}
+SIDES = list(range(64, 256, 16))
+
+
+def _recv_all(sock: socket.socket, timeout: float = 5.0) -> bytes:
+    """Read until the peer closes (or the timeout trips)."""
+    sock.settimeout(timeout)
+    chunks = []
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except (TimeoutError, OSError):
+            break
+        if not chunk:
+            break
+        chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def _http(method: str, path: str, body: bytes = b"", headers: str = "") -> bytes:
+    return (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n{headers}"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    ).encode() + body
+
+
+# --------------------------------------------------------------------------
+# The incremental parser
+# --------------------------------------------------------------------------
+
+
+class TestRequestParser:
+    REQUEST = (
+        b"POST /v1/compute HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n"
+        b"Content-Length: 7\r\n\r\n{\"a\":1}"
+    )
+
+    def test_whole_request_in_one_feed(self):
+        (req,) = _RequestParser().feed(self.REQUEST)
+        assert req.method == "POST"
+        assert req.path == "/v1/compute"
+        assert req.headers["content-type"] == "application/json"
+        assert req.body == b'{"a":1}'
+        assert req.close is False
+
+    def test_byte_at_a_time_feed(self):
+        parser = _RequestParser()
+        collected = []
+        for index in range(len(self.REQUEST)):
+            collected += parser.feed(self.REQUEST[index : index + 1])
+            # Mid-request state is visible (the slowloris detector).
+            if not collected:
+                assert parser.mid_request
+        (req,) = collected
+        assert req.body == b'{"a":1}'
+        assert not parser.mid_request
+
+    def test_three_pipelined_requests_in_one_buffer_plus_a_tail(self):
+        tail = b"GET /healthz HTTP/1.1\r\nHo"  # start of a fourth request
+        requests = _RequestParser().feed(self.REQUEST * 3 + tail)
+        assert len(requests) == 3
+        assert all(r.body == b'{"a":1}' for r in requests)
+
+    def test_body_split_across_feeds(self):
+        parser = _RequestParser()
+        head, rest = self.REQUEST[:-4], self.REQUEST[-4:]
+        assert parser.feed(head) == []
+        (req,) = parser.feed(rest)
+        assert req.body == b'{"a":1}'
+
+    def test_connection_close_and_http10_semantics(self):
+        (req,) = _RequestParser().feed(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert req.close is True
+        (req,) = _RequestParser().feed(b"GET / HTTP/1.0\r\n\r\n")
+        assert req.close is True
+        (req,) = _RequestParser().feed(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert req.close is False
+
+    @pytest.mark.parametrize(
+        "raw, status",
+        [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"GET /x SPDY/3\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nContent-Length: -3\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            (b"GET / HTTP/1.1\r\nno colon here\r\n\r\n", 400),
+        ],
+    )
+    def test_malformed_heads_raise_with_the_right_status(self, raw, status):
+        with pytest.raises(_HttpError) as err:
+            _RequestParser().feed(raw)
+        assert err.value.status == status
+
+    def test_oversized_head_is_rejected_431(self):
+        parser = _RequestParser()
+        with pytest.raises(_HttpError) as err:
+            parser.feed(b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 70_000)
+        assert err.value.status == 431
+
+
+# --------------------------------------------------------------------------
+# Read timeouts (slowloris) — both backends
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestReadTimeout:
+    def test_healthz_advertises_backend_and_timeout(self, backend):
+        with BACKENDS[backend](port=0, read_timeout_s=12.5) as server:
+            health = ServiceClient(server.url).health()
+            assert health["backend"] == backend
+            assert health["read_timeout_s"] == 12.5
+
+    def test_half_a_request_head_then_stall_gets_disconnected(self, backend):
+        with BACKENDS[backend](port=0, read_timeout_s=0.5) as server:
+            with socket.create_connection((server.host, server.port)) as sock:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: stall")  # ...and stop
+                start = time.monotonic()
+                data = _recv_all(sock, timeout=10.0)
+                elapsed = time.monotonic() - start
+            # The server hung up on its own — well before the 10 s the
+            # reader was willing to wait, and not before the timeout.
+            assert elapsed < 5.0
+            # Whatever was sent first (the asyncio backend sends a 408
+            # courtesy response), the connection ended.
+            if data:
+                assert b"408" in data.split(b"\r\n", 1)[0]
+
+    def test_idle_keepalive_connection_is_reaped(self, backend):
+        with BACKENDS[backend](port=0, read_timeout_s=0.5) as server:
+            with socket.create_connection((server.host, server.port)) as sock:
+                sock.sendall(
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+                )
+                start = time.monotonic()
+                data = _recv_all(sock, timeout=10.0)
+                elapsed = time.monotonic() - start
+            assert b"200" in data.split(b"\r\n", 1)[0]  # the request was served
+            assert elapsed < 5.0  # ...and the idle socket reaped after it
+
+
+# --------------------------------------------------------------------------
+# Graceful shutdown
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestGracefulShutdown:
+    def test_slow_request_racing_shutdown_still_completes(self, backend, monkeypatch):
+        server = BACKENDS[backend](port=0, batch_window_s=0.0).start_background()
+        try:
+            slow_started = threading.Event()
+            real = server.compute_with_key
+
+            def slow(payload):
+                slow_started.set()
+                time.sleep(0.5)
+                return real(payload)
+
+            monkeypatch.setattr(server, "compute_with_key", slow)
+            client = ServiceClient(server.url)
+            result: dict = {}
+
+            def fire():
+                result["curve"] = client.allocation_curve(
+                    "paper-bus", "5-point", "square", SIDES
+                )
+
+            thread = threading.Thread(target=fire)
+            thread.start()
+            assert slow_started.wait(5.0)
+            server.shutdown()  # races the sleeping compute
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            # The in-flight request was drained, not killed: the full,
+            # correct response got out before the server exited.
+            assert result["curve"].speedup.shape == (len(SIDES),)
+        finally:
+            server.shutdown()
+
+    def test_draining_server_rejects_new_requests_with_503(self, backend):
+        with BACKENDS[backend](port=0) as server:
+            assert server.drain(timeout_s=1.0) is True  # nothing in flight
+            with socket.create_connection((server.host, server.port)) as sock:
+                sock.sendall(_http("GET", "/healthz"))
+                data = _recv_all(sock)
+            head, _, body = data.partition(b"\r\n\r\n")
+            assert b"503" in head.split(b"\r\n", 1)[0]
+            assert json.loads(body)["error"] == "server is draining"
+
+    def test_drain_times_out_when_a_request_outlasts_it(self, backend):
+        core = BACKENDS[backend](port=0)
+        try:
+            assert core.begin_request() is True
+            start = time.monotonic()
+            assert core.drain(timeout_s=0.2) is False
+            assert 0.15 <= time.monotonic() - start < 2.0
+            core.end_request()
+            assert core.drain(timeout_s=1.0) is True
+        finally:
+            core.close()
+
+    def test_close_flushes_memory_entries_back_to_disk(self, backend, tmp_path):
+        server = BACKENDS[backend](
+            port=0, cache_dir=str(tmp_path), batch_window_s=0.0
+        ).start_background()
+        client = ServiceClient(server.url)
+        client.allocation_curve("paper-bus", "5-point", "square", SIDES)
+        client.close()
+        written = list(tmp_path.glob("*.npz"))
+        assert written  # store() wrote through at compute time
+        for path in written:
+            path.unlink()  # simulate a lost disk tier
+        server.shutdown()
+        assert list(tmp_path.glob("*.npz"))  # close() flushed them back
+
+
+class TestSweepCacheFlush:
+    def test_flush_rewrites_only_missing_disk_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store("a" * 64, {"x": np.arange(3.0)})
+        cache.store("b" * 64, {"y": np.arange(4.0)})
+        assert cache.flush() == 0  # store() already wrote through
+        (tmp_path / ("a" * 64 + ".npz")).unlink()
+        assert cache.flush() == 1
+        arrays, level = cache.lookup_level("a" * 64)
+        assert level == "memory"
+        np.testing.assert_array_equal(arrays["x"], np.arange(3.0))
+
+    def test_memory_only_cache_flushes_nothing(self):
+        cache = SweepCache(None)
+        cache.store("c" * 64, {"z": np.zeros(2)})
+        assert cache.flush() == 0
+
+
+# --------------------------------------------------------------------------
+# Connection scalability: sockets are not threads
+# --------------------------------------------------------------------------
+
+
+class TestConnectionScalability:
+    def test_idle_connections_cost_no_threads(self):
+        workers = 4
+        before = threading.active_count()
+        with AsyncSweepServer(port=0, workers=workers) as server:
+            sockets = []
+            try:
+                # A real request first, so the executor is warmed up.
+                client = ServiceClient(server.url)
+                client.health()
+                client.close()
+                sockets = [
+                    socket.create_connection((server.host, server.port))
+                    for _ in range(200)
+                ]
+                deadline = time.monotonic() + 10.0
+                while (
+                    server.connection_count < 200 and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                assert server.connection_count >= 200
+                # The whole server — loop + executor — added a bounded
+                # handful of threads, not one per connection.
+                assert threading.active_count() - before <= workers + 3
+            finally:
+                for sock in sockets:
+                    sock.close()
+
+
+# --------------------------------------------------------------------------
+# Cross-backend byte parity
+# --------------------------------------------------------------------------
+
+
+JSON_ACCEPT = "application/json"
+FRAME_ACCEPT = f"{FRAME_CONTENT_TYPE}, application/json"
+
+#: The parity request stream: every compute kind, each asked for twice
+#: (cold compute, then the warm fast path) under both protocols, plus
+#: an invalid request (the error envelope is part of the surface).
+PARITY_STREAM = [
+    (allocation_payload("paper-bus", "5-point", "square", SIDES), JSON_ACCEPT),
+    (allocation_payload("paper-bus", "5-point", "square", SIDES), JSON_ACCEPT),
+    (allocation_payload("paper-bus", "5-point", "square", SIDES), FRAME_ACCEPT),
+    (allocation_payload("ipsc", "5-point", "strip", SIDES, integer=True), FRAME_ACCEPT),
+    (plan_payload("paper-bus", 256), JSON_ACCEPT),
+    (plan_payload("paper-bus", 256, [8, 16, 32]), FRAME_ACCEPT),
+    (sweep_payload(SIDES, [4, 16], ["paper-bus", "flex32"]), JSON_ACCEPT),
+    (sweep_payload(SIDES, [4, 16], ["paper-bus", "flex32"]), FRAME_ACCEPT),
+    ({"kind": "allocation_curve", "machine": "no-such-machine"}, JSON_ACCEPT),
+]
+
+
+def _serve_parity_stream(backend: str) -> tuple[list[tuple], dict]:
+    """The full stream against one backend: raw responses + stats deltas."""
+    with BACKENDS[backend](port=0, batch_window_s=0.0) as server:
+        client = ServiceClient(server.url)
+        responses = []
+        for payload, accept in PARITY_STREAM:
+            status, ctype, body = client._request(
+                "/v1/compute",
+                json.dumps(payload).encode(),
+                method="POST",
+                content_type="application/json",
+                accept=accept,
+            )
+            responses.append((status, ctype, body))
+        stats = client.stats()
+        client.close()
+    counters = {
+        "counters": stats["counters"],
+        "cache": stats["cache"],
+        "entries": stats["entries"],
+        "dedup_ratio": stats["dedup_ratio"],
+    }
+    return responses, counters
+
+
+class TestCrossBackendParity:
+    def test_bodies_and_counters_are_identical_across_backends(self):
+        thread_responses, thread_counters = _serve_parity_stream("thread")
+        asyncio_responses, asyncio_counters = _serve_parity_stream("asyncio")
+        assert len(thread_responses) == len(PARITY_STREAM)
+        for index, (ours, theirs) in enumerate(
+            zip(thread_responses, asyncio_responses)
+        ):
+            assert ours[0] == theirs[0], f"status diverged at request {index}"
+            assert ours[1] == theirs[1], f"content-type diverged at request {index}"
+            assert ours[2] == theirs[2], f"body diverged at request {index}"
+        # The same stream moved every counter identically: hits,
+        # misses, coalesces, planner work — the backends are the same
+        # service, not two similar ones.
+        assert thread_counters == asyncio_counters
+
+    def test_cache_tier_round_trips_identically(self):
+        key = "d" * 64
+        arrays = {"curve": np.linspace(0.0, 1.0, 37), "n": np.arange(5)}
+        bodies = {}
+        for backend in sorted(BACKENDS):
+            with BACKENDS[backend](port=0) as server:
+                client = ServiceClient(server.url)
+                client.cache_put(key, arrays)
+                for accept in ("application/octet-stream", FRAME_CONTENT_TYPE):
+                    status, ctype, body = client._request(
+                        f"/v1/cache/{key}", accept=accept
+                    )
+                    assert status == 200
+                    bodies.setdefault(accept, []).append((ctype, body))
+                client.close()
+        for accept, pair in bodies.items():
+            assert pair[0] == pair[1], f"cache GET diverged for {accept}"

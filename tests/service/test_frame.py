@@ -252,7 +252,7 @@ class TestEndToEnd:
         from repro.service import server as server_mod
 
         monkeypatch.setattr(
-            server_mod._Handler, "_accepts_frame", lambda self: False
+            server_mod.ServiceCore, "_accepts_frame", lambda self, accept: False
         )
         client = ServiceClient(server.url)
         sides = list(range(64, 256, 16))

@@ -11,6 +11,7 @@ never retried unless the caller opts in.
 
 from __future__ import annotations
 
+import random
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -189,6 +190,50 @@ class TestPutPolicy:
         # the tier enables retry_non_idempotent for its client.
         cache = RemoteSweepCache(flaky.url)
         assert cache.client.retry_non_idempotent is True
+
+
+class TestBackoffJitter:
+    """Retries back off with full jitter: uniform below an exponential cap.
+
+    Deterministic backoff makes N clients that all lost the daemon at
+    the same instant retry at the same instants — a reconnect
+    stampede.  The schedule must be random per client, bounded by
+    ``backoff_s * 2**attempt``, and exactly reproducible under an
+    injected seeded RNG (so these tests, and anyone else pinning retry
+    behaviour, stay exact).
+    """
+
+    def _recorded_sleeps(self, flaky, monkeypatch, rng) -> list[float]:
+        from repro.service import client as client_mod
+
+        sleeps: list[float] = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        flaky.fail_connections(8)
+        client = ServiceClient(flaky.url, retries=3, backoff_s=0.05, rng=rng)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.health()
+        return sleeps
+
+    def test_schedule_is_exact_under_a_seeded_rng(self, flaky, monkeypatch):
+        seed = 20260808
+        sleeps = self._recorded_sleeps(flaky, monkeypatch, random.Random(seed))
+        twin = random.Random(seed)
+        assert sleeps == [twin.uniform(0.0, 0.05 * 2.0**i) for i in range(3)]
+
+    def test_every_delay_is_bounded_by_the_exponential_cap(
+        self, flaky, monkeypatch
+    ):
+        sleeps = self._recorded_sleeps(flaky, monkeypatch, random.Random(7))
+        assert len(sleeps) == 3  # one per consumed retry
+        for attempt, delay in enumerate(sleeps):
+            assert 0.0 <= delay <= 0.05 * 2.0**attempt
+
+    def test_differently_seeded_clients_do_not_stampede_in_lockstep(
+        self, flaky, monkeypatch
+    ):
+        first = self._recorded_sleeps(flaky, monkeypatch, random.Random(1))
+        second = self._recorded_sleeps(flaky, monkeypatch, random.Random(2))
+        assert first != second
 
 
 class TestAgainstTheRealDaemon:

@@ -9,6 +9,7 @@ import pytest
 from repro.batch import optimal_allocation_curve, run_sweep, SweepSpec
 from repro.machines.catalog import FLEX32, PAPER_BUS
 from repro.service import (
+    AsyncSweepServer,
     RemoteSweepCache,
     ServiceClient,
     ServiceError,
@@ -21,10 +22,16 @@ from repro.stencils.perimeter import PartitionKind
 SQUARE = PartitionKind.SQUARE
 SIDES = list(range(64, 512, 16))
 
+BACKENDS = {"thread": SweepServer, "asyncio": AsyncSweepServer}
 
-@pytest.fixture()
-def server():
-    with SweepServer(port=0) as srv:
+
+# The whole suite runs against BOTH transports: every behaviour below —
+# wire fidelity, coalescing, micro-batching, bounds, the shared-store
+# tier — is a property of the shared ServiceCore, and the backends must
+# be indistinguishable through it.
+@pytest.fixture(params=sorted(BACKENDS))
+def server(request):
+    with BACKENDS[request.param](port=0) as srv:
         yield srv
 
 
