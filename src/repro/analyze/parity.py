@@ -11,7 +11,9 @@ test noticing.
 This rule makes the pairing a checked artifact:
 
 * the **universe** is every function exported via ``__all__`` from the
-  ``repro.core`` submodules;
+  ``repro.core`` and ``repro.sim`` submodules (the event-level
+  simulator's closed forms are paired with their batched twins in
+  ``repro.batch.sim`` the same way the analysis tier is);
 * each must be **paired** (its registered twin exists in the tree and
   some test file exercises the twin by name), an **exempt** entry with
   a recorded reason (scalar optimizers, array-native functions,
@@ -64,6 +66,11 @@ PAIRS: dict[str, str] = {
     "closed_form_optimal_speedup_async_bus": (
         "closed_form_optimal_speedup_async_bus_curve"
     ),
+    # Event-level simulator -> lockstep replica tier (repro.batch.sim).
+    "simulate_iteration": "simulate_replicas",
+    "simulate_replica": "simulate_replicas",
+    "uniform01": "uniform01_grid",
+    "jitter_factors": "jitter_factor_grid",
 }
 
 #: scalar closed form -> why it deliberately has no vectorized twin.
@@ -94,9 +101,32 @@ EXEMPT: dict[str, str] = {
         "discrete working-set search; the Figure-6 series is served by "
         "rectangle_error_curves"
     ),
+    "halo_volumes": "per-decomposition diagnostic; feeds both sim tiers",
+    "neighbour_comm_time": (
+        "shared scalar kernel; both sim tiers charge it identically"
+    ),
+    "validate_machine": (
+        "wrapper over validation_arrays; already on the batched path"
+    ),
+    "validation_arrays": (
+        "array-native: simulated column runs on simulate_replicas already"
+    ),
+    "validation_summary": "summary statistics over one finished sweep",
+    "monte_carlo_bands": (
+        "array-native: one lockstep simulate_replicas call per ensemble"
+    ),
+    "simulate_solve": (
+        "multi-iteration solver driver; outside the one-iteration "
+        "replica scope the batch tier serves"
+    ),
 }
 
-_CORE_PREFIX = "repro.core."
+_UNIVERSE_PREFIXES = ("repro.core.", "repro.sim.")
+#: ``repro.sim.network`` holds event-level *implementation* kernels, not
+#: public closed forms: their lockstep twins are the private scans in
+#: ``repro.batch.sim``, tied together kernel by kernel in
+#: ``tests/batch/test_sim.py`` rather than by public-name pairing.
+_UNIVERSE_EXCLUDED = "repro.sim.network."
 _MACHINES_PREFIX = "repro.machines"
 
 #: Public grid methods whose scalar counterpart carries a different
@@ -141,10 +171,13 @@ class ParityRule(Rule):
     # ------------------------------------------------------------- plumbing
 
     def _universe(self, project: Project) -> list[tuple[str, str, int]]:
-        """(module, function, line) for each public repro.core closed form."""
+        """(module, function, line) for each public repro.core / repro.sim
+        closed form."""
         out: list[tuple[str, str, int]] = []
         for module in project:
-            if not module.name.startswith(_CORE_PREFIX):
+            if not module.name.startswith(_UNIVERSE_PREFIXES):
+                continue
+            if module.name.startswith(_UNIVERSE_EXCLUDED):
                 continue
             exported = set(_module_all(module.tree))
             for node in module.tree.body:

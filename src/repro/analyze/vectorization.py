@@ -38,6 +38,7 @@ __all__ = ["VectorizationRule", "DEFAULT_SCOPE"]
 DEFAULT_SCOPE = (
     "repro.batch.curves",
     "repro.batch.analysis",
+    "repro.batch.sim",
     "repro.graph.executors:NumpyExecutor",
 )
 

@@ -87,6 +87,14 @@ from repro.batch.shard import (
     sharded_allocation_arrays,
     sharded_allocation_curve,
 )
+from repro.batch.sim import (
+    ReplicaBatchResult,
+    ReplicaBatchSpec,
+    machine_sim_tag,
+    replica_request,
+    simulate_replicas,
+    simulate_replicas_cached,
+)
 
 # The analysis shims bind repro.graph lazily per call to keep the
 # module graph acyclic (graph.nodes imports repro.batch.cache).  Load
@@ -101,6 +109,8 @@ __all__ = [
     "CacheStats",
     "OptimalSpeedupCurve",
     "RectangleErrorCurve",
+    "ReplicaBatchResult",
+    "ReplicaBatchSpec",
     "SweepCache",
     "SweepResult",
     "SweepSpec",
@@ -118,18 +128,22 @@ __all__ = [
     "grid_for_efficiency_curve",
     "isoefficiency_exponent_grid",
     "k_matrix",
+    "machine_sim_tag",
     "max_useful_processors_curve",
     "minimal_grid_side_curve",
     "minimal_problem_size_curve",
     "optimal_allocation_curve",
     "optimal_speedup_curve",
     "rectangle_error_curves",
+    "replica_request",
     "run_sweep",
     "run_sweep_sharded",
     "sharded_allocation_arrays",
     "scaled_speedup_banyan_curve",
     "scaled_speedup_hypercube_curve",
     "sharded_allocation_curve",
+    "simulate_replicas",
+    "simulate_replicas_cached",
     "speedup_ratio_curve",
     "strip_square_ratio_curve",
     "table1_speedup_curve",

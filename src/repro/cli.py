@@ -8,6 +8,9 @@ Subcommands
     Optimal allocation for a problem on a preset machine.
 ``plan``
     Capacity planning: max useful processors and minimal grid sizes.
+``simulate``
+    Batched replica simulation: Monte Carlo cycle-time bands for one
+    (machine, grid, P) configuration, many seeds at once.
 ``experiments``
     Run registered experiments (same as ``repro.experiments.runner``).
 ``serve``
@@ -36,6 +39,8 @@ Examples::
         --cache-dir results/cache
     python -m repro plan --machine paper-bus --n 256
     python -m repro plan --machine paper-bus --grid 2:2000
+    python -m repro simulate --machine paper-bus --n 64 --processors 16 \
+        --replicas 1000 --jitter 0.05
     python -m repro experiments E-FIG7
     python -m repro serve --port 8733 --cache-dir results/cache --max-cache-mb 64
     python -m repro optimize --machine paper-bus --grid 64:4096:64 \
@@ -551,6 +556,104 @@ def _plan_grid(args: argparse.Namespace, machine) -> int:
 
 
 # --------------------------------------------------------------------------
+# simulate
+# --------------------------------------------------------------------------
+
+
+def _render_simulation(args: argparse.Namespace, kind: PartitionKind, arrays) -> None:
+    """One replica ensemble as a kv block (plus a per-seed table when
+    small) — the shape both the offline graph path and the daemon-served
+    path feed, so their bytes can't drift."""
+    import numpy as np
+
+    cycles = np.asarray(arrays["cycle_times"], dtype=np.float64)
+    print(
+        format_kv_block(
+            {
+                "machine": args.machine,
+                "grid": f"{args.n} x {args.n}",
+                "processors": args.processors,
+                "stencil": args.stencil,
+                "partition": kind.value,
+                "mode": args.mode,
+                "jitter": args.jitter,
+                "replicas": int(cycles.size),
+                "mean cycle time (s)": cycles.mean().item(),
+                "std cycle time (s)": cycles.std().item(),
+                "min cycle time (s)": cycles.min().item(),
+                "q05 cycle time (s)": np.quantile(cycles, 0.05).item(),
+                "q95 cycle time (s)": np.quantile(cycles, 0.95).item(),
+                "max cycle time (s)": cycles.max().item(),
+            },
+            title="Replica simulation",
+        )
+    )
+    if cycles.size <= 16:
+        seeds = np.asarray(arrays["seeds"]).tolist()
+        print()
+        print(
+            format_table(
+                ["seed", "cycle time (s)"],
+                [(int(s), c.item()) for s, c in zip(seeds, cycles)],
+            )
+        )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    _reject_server_plus_cache(args)
+    kind = PartitionKind(args.partition)
+    if args.replicas < 1:
+        raise InvalidParameterError(f"--replicas must be >= 1, got {args.replicas}")
+    seeds = list(range(args.seed, args.seed + args.replicas))
+
+    def build_node():
+        from repro.graph import nodes as graph_nodes
+
+        return graph_nodes.sim_sweep(
+            by_name(args.machine),
+            stencil_by_name(args.stencil),
+            kind,
+            args.n,
+            args.processors,
+            seeds,
+            t_flop=args.t_flop,
+            mode=args.mode,
+            jitter=args.jitter,
+        )
+
+    if args.explain:
+        from repro.graph.planner import plan as plan_graph
+
+        cache = _open_cache(args.cache_dir, args.max_cache_mb)
+        print(plan_graph([build_node()], cache=cache, executor=args.executor).explain())
+        return 0
+    if args.server:
+        from repro.service import ServiceClient
+
+        arrays = ServiceClient(args.server).sim_sweep(
+            args.machine,
+            args.n,
+            args.processors,
+            args.stencil,
+            kind.value,
+            replicas=args.replicas,
+            seed=args.seed,
+            t_flop=args.t_flop,
+            mode=args.mode,
+            jitter=args.jitter,
+        )
+    else:
+        from repro.graph.planner import evaluate as graph_evaluate
+
+        cache = _open_cache(args.cache_dir, args.max_cache_mb)
+        arrays = graph_evaluate(
+            [build_node()], cache=cache, executor=args.executor
+        )[0]
+    _render_simulation(args, kind, arrays)
+    return 0
+
+
+# --------------------------------------------------------------------------
 # experiments / serve
 # --------------------------------------------------------------------------
 
@@ -719,6 +822,62 @@ def build_parser() -> argparse.ArgumentParser:
         "(scalar repro.core reference)",
     )
     plan.set_defaults(func=_cmd_plan)
+
+    simc = sub.add_parser(
+        "simulate", help="batched replica simulation (Monte Carlo bands)"
+    )
+    simc.add_argument("--machine", default="paper-bus", choices=sorted(DEFAULT_MACHINES))
+    simc.add_argument("--n", type=int, default=64)
+    simc.add_argument(
+        "--processors", type=int, default=16, help="processor count P"
+    )
+    simc.add_argument("--stencil", default="5-point")
+    simc.add_argument("--partition", default="square", choices=["strip", "square"])
+    simc.add_argument(
+        "--mode",
+        default="barrier",
+        choices=["barrier", "pipelined"],
+        help="bus scheduling discipline",
+    )
+    simc.add_argument(
+        "--replicas", type=int, default=1, help="ensemble size (consecutive seeds)"
+    )
+    simc.add_argument("--seed", type=int, default=0, help="first replica seed")
+    simc.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="per-phase multiplicative noise amplitude in [0, 1); 0 is "
+        "the deterministic event-level trace",
+    )
+    simc.add_argument("--t-flop", type=float, default=1e-6)
+    simc.add_argument(
+        "--cache-dir", type=Path, default=None, help="sweep-cache directory"
+    )
+    simc.add_argument(
+        "--max-cache-mb",
+        type=float,
+        default=None,
+        help="LRU bound per cache tier (MiB); default unbounded",
+    )
+    simc.add_argument(
+        "--server",
+        default=None,
+        help="route through a running `repro serve` daemon (URL)",
+    )
+    simc.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the optimized sweep graph (nodes, fusion groups, "
+        "cache hits) without executing",
+    )
+    simc.add_argument(
+        "--executor",
+        default="numpy",
+        help="graph executor: numpy (vectorized, default) or oracle "
+        "(scalar event-level reference)",
+    )
+    simc.set_defaults(func=_cmd_simulate)
 
     exp = sub.add_parser("experiments", help="run paper experiments")
     exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")

@@ -20,7 +20,11 @@ from repro.experiments.registry import ExperimentResult, register
 from repro.machines.banyan import BanyanNetwork
 from repro.machines.bus import AsynchronousBus, SynchronousBus
 from repro.machines.hypercube import Hypercube
-from repro.sim.validate import validate_machine, validation_summary
+from repro.sim.validate import (
+    monte_carlo_bands,
+    validate_machine,
+    validation_summary,
+)
 from repro.stencils.library import FIVE_POINT, NINE_POINT_BOX
 from repro.stencils.perimeter import PartitionKind
 
@@ -113,6 +117,31 @@ def run_simulation_validation(
         "bus scheduling ablation (simulated cycle time)",
         ["mode", "P", "cycle time"],
         ablation,
+    )
+    # Monte Carlo bands: jittered replica ensembles at every processor
+    # count, one lockstep batched-simulator call per configuration — the
+    # scenario the scalar event loop could not reach at experiment cost.
+    band_rows = []
+    for label, machine, kind in (_SWEEPS[0], _SWEEPS[4], _SWEEPS[6]):
+        bands = monte_carlo_bands(
+            machine, FIVE_POINT, n, list(processor_counts), kind,
+            replicas=100, jitter=0.02,
+        )
+        for i, p in enumerate(bands["processors"].tolist()):
+            band_rows.append(
+                (
+                    label,
+                    p,
+                    bands["mean"][i].item(),
+                    bands["std"][i].item(),
+                    bands["q05"][i].item(),
+                    bands["q95"][i].item(),
+                )
+            )
+    result.add_table(
+        "monte carlo bands (5-point, 100 replicas, jitter 0.02)",
+        ["configuration", "P", "mean cycle", "std", "q05", "q95"],
+        band_rows,
     )
     result.notes.append(
         "Buses simulate faster than the model predicts because boundary "

@@ -178,6 +178,33 @@ class NumpyExecutor(Executor):
                 )
                 for kind in _plan_kinds()
             }
+        if op == "sim_sweep":
+            from repro.batch.sim import ReplicaBatchSpec, simulate_replicas
+
+            spec = ReplicaBatchSpec.build(
+                args["machine"],
+                args["stencil"],
+                args["kind"],
+                args["n"],
+                args["n_processors"],
+                [int(s) for s in axis.tolist()],
+                t_flop=args["t_flop"],
+                mode=args["mode"],
+                jitter=args["jitter"],
+            )
+            return simulate_replicas(spec).to_arrays()
+        if op == "sim_validate":
+            from repro.sim.validate import validation_arrays
+
+            return validation_arrays(
+                args["machine"],
+                args["stencil"],
+                args["n"],
+                [int(p) for p in axis.tolist()],
+                args["kind"],
+                args["t_flop"],
+                args["mode"],
+            )
         raise InvalidParameterError(f"numpy executor: unknown graph op {op!r}")
 
 
@@ -306,6 +333,71 @@ class OracleExecutor(Executor):
                     ]
                 )
                 for kind in _plan_kinds()
+            }
+        if op == "sim_sweep":
+            from repro.sim.replica import simulate_replica
+
+            replicas = [
+                simulate_replica(
+                    args["machine"],
+                    args["n"],
+                    args["n_processors"],
+                    args["stencil"],
+                    int(seed),
+                    kind=args["kind"],
+                    t_flop=args["t_flop"],
+                    mode=args["mode"],
+                    jitter=args["jitter"],
+                )
+                for seed in axis
+            ]
+            size = len(replicas)
+            return {
+                "grid_sides": np.full(size, int(args["n"]), dtype=np.int64),
+                "processors": np.full(
+                    size, int(args["n_processors"]), dtype=np.int64
+                ),
+                "seeds": axis.astype(np.uint64),
+                "cycle_times": np.array(
+                    [r.cycle_time for r in replicas], dtype=np.float64
+                ),
+            }
+        if op == "sim_validate":
+            from repro.core.parameters import Workload
+            from repro.partitioning.decomposition import decomposition_for
+            from repro.sim.iteration import simulate_iteration
+            from repro.stencils.perimeter import PartitionKind
+
+            workload = Workload(
+                n=int(args["n"]), stencil=args["stencil"], t_flop=args["t_flop"]
+            )
+            dec_kind = (
+                "strip" if args["kind"] is PartitionKind.STRIP else "block"
+            )
+            return {
+                "processors": axis.astype(np.int64),
+                "analytic": np.array(
+                    [
+                        args["machine"].cycle_time_all_processors(
+                            workload, args["kind"], int(p)
+                        )
+                        for p in axis
+                    ],
+                    dtype=np.float64,
+                ),
+                "simulated": np.array(
+                    [
+                        simulate_iteration(
+                            args["machine"],
+                            decomposition_for(int(args["n"]), int(p), dec_kind),
+                            args["stencil"],
+                            args["t_flop"],
+                            mode=args["mode"],
+                        ).cycle_time
+                        for p in axis
+                    ],
+                    dtype=np.float64,
+                ),
             }
         raise InvalidParameterError(f"oracle executor: unknown graph op {op!r}")
 

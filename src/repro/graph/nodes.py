@@ -52,6 +52,8 @@ __all__ = [
     "grid_for_efficiency",
     "sweep",
     "plan_grid",
+    "sim_sweep",
+    "sim_validate",
     "speedup_ratio",
     "strip_square_ratio",
     "isoefficiency_fit",
@@ -382,6 +384,155 @@ def plan_grid(machine: BusArchitecture, n_processors: Sequence[int]) -> Node:
         compat=fingerprint(("fuse", "plan_grid", machine)),
         axis=p,
         detail=f"plan_grid[{_machine_label(machine)} p_axis={p.size}]",
+    )
+
+
+def sim_sweep(
+    machine: Architecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    n: int,
+    n_processors: int,
+    seeds: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+    mode: str = "barrier",
+    jitter: float = 0.0,
+) -> Node:
+    """Lazy :func:`repro.batch.sim.simulate_replicas` over a seed axis.
+
+    One (machine, n, P) configuration, many replicas: the node is
+    elementwise in its seed axis (the counter RNG gives every replica an
+    independent stream), so sim sweeps sharing a configuration fuse over
+    the union of their seed axes and slice back out bit-identically.
+
+    Machines canonicalize through :func:`repro.batch.sim.machine_sim_tag`
+    — raw fields, *not* the closed-form bus encoding — because the
+    simulator charges ``b`` and ``c`` separately; see that function.
+    """
+    from repro.batch.sim import ReplicaBatchSpec, machine_sim_tag, replica_request
+
+    # Seeds stay exact Python ints until the final uint64 cast: routing
+    # them through np.asarray would promote a list mixing small ints with
+    # values past 2**63 to float64 and silently round the top of the
+    # seed range (2**64 - 1 -> 2**64).
+    try:
+        seed_list = [int(s) for s in seeds]
+    except (TypeError, ValueError):
+        raise InvalidParameterError(
+            "seeds must be a non-empty 1-D axis of integers"
+        ) from None
+    if not seed_list:
+        raise InvalidParameterError("seeds must be a non-empty 1-D axis")
+    # Spec construction validates n, P, seeds, mode, t_flop, and jitter
+    # (before any uint64 conversion could wrap a negative seed); its
+    # request tuple is exactly the offline cached path's, so graph
+    # stores and simulate_replicas_cached stores share entries.
+    spec = ReplicaBatchSpec.build(
+        machine, stencil, kind, int(n), int(n_processors), seed_list,
+        t_flop=float(t_flop), mode=str(mode), jitter=float(jitter),
+    )
+    seed_axis = np.asarray(seed_list, dtype=np.uint64)
+    return Node(
+        op="sim_sweep",
+        args={
+            "machine": machine,
+            "stencil": stencil,
+            "kind": kind,
+            "n": int(n),
+            "n_processors": int(n_processors),
+            "t_flop": float(t_flop),
+            "mode": str(mode),
+            "jitter": float(jitter),
+        },
+        request=replica_request(spec),
+        compat=fingerprint(
+            (
+                "fuse",
+                "sim_sweep",
+                machine_sim_tag(machine),
+                stencil,
+                kind,
+                int(n),
+                int(n_processors),
+                _float_tag(t_flop),
+                str(mode),
+                _float_tag(jitter),
+            )
+        ),
+        axis=seed_axis,
+        detail=(
+            f"sim_sweep[{_machine_label(machine)} {stencil.name} "
+            f"{kind.value} n={int(n)} p={int(n_processors)} "
+            f"seeds={seed_axis.size} mode={mode} jitter={float(jitter):g}]"
+        ),
+    )
+
+
+def sim_validate(
+    machine: Architecture,
+    stencil: Stencil,
+    kind: PartitionKind,
+    n: int,
+    processor_counts: Sequence[int],
+    t_flop: float = DEFAULT_T_FLOP,
+    mode: str = "barrier",
+) -> Node:
+    """Lazy :func:`repro.sim.validate.validation_arrays` over a P axis.
+
+    Each processor count's analytic and simulated cycle times depend
+    only on that count, so validation sweeps for one (machine, stencil,
+    n) fuse over the union of their processor axes.  The simulated
+    column is the jitter-free batched replica path, pinned bit-equal to
+    the event-level oracle.
+    """
+    from repro.batch.sim import machine_sim_tag
+
+    p_axis = np.asarray(processor_counts, dtype=np.int64)
+    if p_axis.ndim != 1 or p_axis.size == 0:
+        raise InvalidParameterError(
+            "processor_counts must be a non-empty 1-D axis"
+        )
+    if np.any(p_axis < 1):
+        raise InvalidParameterError("processor counts must be >= 1")
+    if int(n) < 1:
+        raise InvalidParameterError("grid side n must be >= 1")
+    return Node(
+        op="sim_validate",
+        args={
+            "machine": machine,
+            "stencil": stencil,
+            "kind": kind,
+            "n": int(n),
+            "t_flop": float(t_flop),
+            "mode": str(mode),
+        },
+        request=(
+            "sim_validate",
+            machine_sim_tag(machine),
+            stencil,
+            kind,
+            int(n),
+            p_axis,
+            _float_tag(t_flop),
+            str(mode),
+        ),
+        compat=fingerprint(
+            (
+                "fuse",
+                "sim_validate",
+                machine_sim_tag(machine),
+                stencil,
+                kind,
+                int(n),
+                _float_tag(t_flop),
+                str(mode),
+            )
+        ),
+        axis=p_axis,
+        detail=(
+            f"sim_validate[{_machine_label(machine)} {stencil.name} "
+            f"{kind.value} n={int(n)} p_axis={p_axis.size} mode={mode}]"
+        ),
     )
 
 

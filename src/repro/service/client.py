@@ -64,6 +64,8 @@ from repro.service.schema import (
     allocation_payload,
     decode_arrays,
     plan_payload,
+    sim_sweep_payload,
+    sim_validate_payload,
     sweep_payload,
 )
 
@@ -595,6 +597,51 @@ class ServiceClient:
         """Cycle-time surfaces by machine name (one array per machine)."""
         return self.compute(
             sweep_payload(grid_sides, processors, machines, stencil, kind, t_flop)
+        )
+
+    def sim_sweep(
+        self,
+        machine: str,
+        n: int,
+        n_processors: int,
+        stencil: str = "5-point",
+        kind: str = "square",
+        *,
+        seeds: Any | None = None,
+        replicas: int | None = None,
+        seed: int = 0,
+        t_flop: float = DEFAULT_T_FLOP,
+        mode: str = "barrier",
+        jitter: float = 0.0,
+    ) -> dict[str, np.ndarray]:
+        """Daemon-served replica batch: per-seed cycle times, bit-exact.
+
+        Pass an explicit ``seeds`` list, or the ``replicas``/``seed``
+        shorthand for consecutive seeds — the same ensemble the offline
+        :func:`repro.batch.sim.simulate_replicas` produces, byte for
+        byte.
+        """
+        return self.compute(
+            sim_sweep_payload(
+                machine, n, n_processors, stencil, kind,
+                seeds=seeds, replicas=replicas, seed=seed,
+                t_flop=t_flop, mode=mode, jitter=jitter,
+            )
+        )
+
+    def sim_validate(
+        self,
+        machine: str,
+        n: int,
+        processors: Any,
+        stencil: str = "5-point",
+        kind: str = "square",
+        t_flop: float = DEFAULT_T_FLOP,
+        mode: str = "barrier",
+    ) -> dict[str, np.ndarray]:
+        """Daemon-served validation sweep: analytic vs simulated columns."""
+        return self.compute(
+            sim_validate_payload(machine, n, processors, stencil, kind, t_flop, mode)
         )
 
     # ------------------------------------------------------- shared store API

@@ -39,9 +39,13 @@ __all__ = [
     "allocation_payload",
     "plan_payload",
     "sweep_payload",
+    "sim_sweep_payload",
+    "sim_validate_payload",
     "parse_allocation",
     "parse_plan",
     "parse_sweep",
+    "parse_sim_sweep",
+    "parse_sim_validate",
 ]
 
 
@@ -147,6 +151,68 @@ def sweep_payload(
     }
 
 
+def sim_sweep_payload(
+    machine: str,
+    n: int,
+    n_processors: int,
+    stencil: str = "5-point",
+    kind: str = "square",
+    *,
+    seeds: Any | None = None,
+    replicas: int | None = None,
+    seed: int = 0,
+    t_flop: float = DEFAULT_T_FLOP,
+    mode: str = "barrier",
+    jitter: float = 0.0,
+) -> dict[str, Any]:
+    """A batched replica-simulation request.
+
+    Randomness travels either as an explicit ``seeds`` list or as the
+    ``replicas`` + ``seed`` shorthand (consecutive seeds starting at
+    ``seed``) — the counter RNG has no other state, so the request
+    names the whole ensemble deterministically.
+    """
+    payload: dict[str, Any] = {
+        "kind": "sim_sweep",
+        "machine": machine,
+        "stencil": stencil,
+        "partition": kind,
+        "n": int(n),
+        "n_processors": int(n_processors),
+        "t_flop": float(t_flop),
+        "mode": str(mode),
+        "jitter": float(jitter),
+    }
+    if seeds is not None:
+        payload["seeds"] = [int(s) for s in seeds]
+    else:
+        payload["replicas"] = 1 if replicas is None else int(replicas)
+        payload["seed"] = int(seed)
+    return payload
+
+
+def sim_validate_payload(
+    machine: str,
+    n: int,
+    processors: Any,
+    stencil: str = "5-point",
+    kind: str = "square",
+    t_flop: float = DEFAULT_T_FLOP,
+    mode: str = "barrier",
+) -> dict[str, Any]:
+    """A model-vs-simulation validation sweep over processor counts."""
+    return {
+        "kind": "sim_validate",
+        "machine": machine,
+        "stencil": stencil,
+        "partition": kind,
+        "n": int(n),
+        "processors": [int(p) for p in processors],
+        "t_flop": float(t_flop),
+        "mode": str(mode),
+    }
+
+
 # --------------------------------------------------------------------------
 # Request validation (server side)
 # --------------------------------------------------------------------------
@@ -218,6 +284,67 @@ def parse_plan(payload: Mapping[str, Any]) -> dict[str, Any]:
         "machine_name": payload.get("machine"),
         "n": n,
         "grid": None if grid is None else _axis(grid, "grid"),
+    }
+
+
+def parse_sim_sweep(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Validated arguments for a batched replica-simulation request.
+
+    Seed-range, mode, and jitter bounds are enforced by
+    :class:`repro.batch.sim.ReplicaBatchSpec` when the graph node is
+    built — the same :class:`~repro.errors.InvalidParameterError` → 400
+    path as every other malformed field.
+    """
+    n = int(payload.get("n", 0))
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    n_processors = int(payload.get("n_processors", 0))
+    if n_processors < 1:
+        raise InvalidParameterError(
+            f"n_processors must be >= 1, got {n_processors}"
+        )
+    seeds = payload.get("seeds")
+    if seeds is None:
+        replicas = int(payload.get("replicas", 0))
+        if replicas < 1:
+            raise InvalidParameterError(
+                "provide a non-empty seeds list, or replicas >= 1"
+            )
+        start = int(payload.get("seed", 0))
+        seed_list = list(range(start, start + replicas))
+    else:
+        if not isinstance(seeds, (list, tuple)) or not seeds:
+            raise InvalidParameterError("seeds must be a non-empty list")
+        try:
+            seed_list = [int(s) for s in seeds]
+        except (TypeError, ValueError):
+            raise InvalidParameterError("seeds must hold integers") from None
+    return {
+        "machine": _machine(payload.get("machine")),
+        "stencil": _stencil(payload.get("stencil", "5-point")),
+        "kind": _partition(payload.get("partition", "square")),
+        "n": n,
+        "n_processors": n_processors,
+        "seeds": seed_list,
+        "t_flop": float(payload.get("t_flop", DEFAULT_T_FLOP)),
+        "mode": str(payload.get("mode", "barrier")),
+        "jitter": float(payload.get("jitter", 0.0)),
+    }
+
+
+def parse_sim_validate(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Validated arguments for a validation-sweep request."""
+    n = int(payload.get("n", 0))
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    return {
+        "machine": _machine(payload.get("machine")),
+        "stencil": _stencil(payload.get("stencil", "5-point")),
+        "kind": _partition(payload.get("partition", "square")),
+        "n": n,
+        "processors": _axis(payload.get("processors"), "processors"),
+        "t_flop": float(payload.get("t_flop", DEFAULT_T_FLOP)),
+        "mode": str(payload.get("mode", "barrier")),
     }
 
 

@@ -30,7 +30,8 @@ Endpoints::
     GET  /v1/stats            cache + coalescing counters
     GET  /v1/cache/<key>      one entry (npz, or a binary frame when asked)
     PUT  /v1/cache/<key>      insert one entry (npz or binary-frame body)
-    POST /v1/compute          allocation_curve | plan | sweep requests
+    POST /v1/compute          allocation_curve | plan | sweep |
+                              sim_sweep | sim_validate requests
 
 Everything above lives in :class:`ServiceCore`, which is
 transport-agnostic: it turns ``(method, path, headers, body)`` into a
@@ -103,13 +104,20 @@ from repro.service.schema import (
     json_body,
     parse_allocation,
     parse_plan,
+    parse_sim_sweep,
+    parse_sim_validate,
     parse_sweep,
 )
+
+#: Every /v1/compute discriminator the core serves, advertised in
+#: ``/healthz`` so clients can probe for sim support before sending.
+COMPUTE_KINDS = ("allocation_curve", "plan", "sim_sweep", "sim_validate", "sweep")
 
 __all__ = [
     "Response",
     "ServiceCore",
     "SweepServer",
+    "COMPUTE_KINDS",
     "DEFAULT_PORT",
     "DEFAULT_READ_TIMEOUT_S",
     "DEFAULT_DRAIN_TIMEOUT_S",
@@ -249,6 +257,10 @@ class ServiceCore:
             "computed": 0,
             "coalesced": 0,
             "batched": 0,
+            # sim_sweep/sim_validate requests through the parse pipeline
+            # (warm byte-identical repeats ride fast_serve and are
+            # counted as plain hits, like every other family).
+            "sim": 0,
         }
         self._counters_lock = threading.Lock()
         # Graceful-shutdown state: requests in flight and the draining
@@ -390,8 +402,39 @@ class ServiceCore:
             node = graph_nodes.sweep(spec)
             arrays, served = self._serve_node(node)
             return arrays, served, node.key
+        if kind == "sim_sweep":
+            args = parse_sim_sweep(payload)
+            self._count("sim")
+            node = graph_nodes.sim_sweep(
+                args["machine"],
+                args["stencil"],
+                args["kind"],
+                args["n"],
+                args["n_processors"],
+                args["seeds"],
+                args["t_flop"],
+                args["mode"],
+                args["jitter"],
+            )
+            arrays, served = self._serve_node(node)
+            return arrays, served, node.key
+        if kind == "sim_validate":
+            args = parse_sim_validate(payload)
+            self._count("sim")
+            node = graph_nodes.sim_validate(
+                args["machine"],
+                args["stencil"],
+                args["kind"],
+                args["n"],
+                args["processors"],
+                args["t_flop"],
+                args["mode"],
+            )
+            arrays, served = self._serve_node(node)
+            return arrays, served, node.key
+        expected = ", ".join(COMPUTE_KINDS)
         raise InvalidParameterError(
-            f"unknown request kind {kind!r}; expected allocation_curve, plan, or sweep"
+            f"unknown request kind {kind!r}; expected one of: {expected}"
         )
 
     # The warm-hit fast path -------------------------------------------------
@@ -687,6 +730,7 @@ class ServiceCore:
                     "status": "ok",
                     "service": "repro-sweepd",
                     "protocols": ["json", "frame"],
+                    "kinds": list(COMPUTE_KINDS),
                     "backend": self.backend,
                     "read_timeout_s": self.read_timeout_s,
                 }

@@ -1,17 +1,26 @@
 """Discrete-event simulation of the machine models."""
 
 from repro.sim.events import EventQueue, Resource, ResourceGrant
-from repro.sim.iteration import SimulationResult, halo_volumes, simulate_iteration
+from repro.sim.iteration import (
+    SimulationResult,
+    halo_volumes,
+    neighbour_comm_time,
+    simulate_iteration,
+)
+from repro.sim.replica import ReplicaResult, simulate_replica
 from repro.sim.solve_sim import SolveTimeline, simulate_solve
 from repro.sim.validate import (
     ValidationPoint,
     ValidationSweep,
+    monte_carlo_bands,
     validate_machine,
+    validation_arrays,
     validation_summary,
 )
 
 __all__ = [
     "EventQueue",
+    "ReplicaResult",
     "Resource",
     "ResourceGrant",
     "SimulationResult",
@@ -19,8 +28,12 @@ __all__ = [
     "ValidationPoint",
     "ValidationSweep",
     "halo_volumes",
+    "monte_carlo_bands",
+    "neighbour_comm_time",
     "simulate_iteration",
+    "simulate_replica",
     "simulate_solve",
     "validate_machine",
+    "validation_arrays",
     "validation_summary",
 ]

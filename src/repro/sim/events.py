@@ -47,13 +47,18 @@ class EventQueue:
         """Drain the queue; returns the final simulation time.
 
         ``max_events`` guards against runaway self-rescheduling loops
-        (a bug, not a workload property).
+        (a bug, not a workload property).  The guard counts events of
+        *this* drain only — ``events_processed`` keeps the lifetime
+        total, but a queue reused for several runs must not inherit the
+        previous drains' budget.
         """
+        run_processed = 0
         while self._heap:
-            if self._processed >= max_events:
+            if run_processed >= max_events:
                 raise SimulationError(f"exceeded {max_events} events; likely a loop")
             time, _, callback = heapq.heappop(self._heap)
             self.now = time
+            run_processed += 1
             self._processed += 1
             callback()
         return self.now

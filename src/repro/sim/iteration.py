@@ -39,7 +39,12 @@ from repro.sim.network.bus_sim import (
 from repro.sim.network.link_sim import MessageSpec, neighbour_exchange_time
 from repro.stencils.stencil import Stencil
 
-__all__ = ["SimulationResult", "simulate_iteration", "halo_volumes"]
+__all__ = [
+    "SimulationResult",
+    "halo_volumes",
+    "neighbour_comm_time",
+    "simulate_iteration",
+]
 
 
 @dataclass(frozen=True)
@@ -110,14 +115,12 @@ def _compute_times(
 
 def _simulate_sync_bus(
     machine: SynchronousBus,
-    decomposition: Decomposition,
-    workload: Workload,
     reads: list[int],
     writes: list[int],
+    compute: list[float],
     mode: str,
 ) -> float:
-    compute = _compute_times(decomposition, workload)
-    n_ranks = decomposition.n_processors
+    n_ranks = len(compute)
     if mode == "barrier":
         read_done = sync_bus_phase(
             [BlockRequest(p, reads[p], 0.0) for p in range(n_ranks)],
@@ -150,22 +153,20 @@ def _simulate_sync_bus(
 
 def _simulate_async_bus(
     machine: AsynchronousBus,
-    decomposition: Decomposition,
-    workload: Workload,
     reads: list[int],
     writes: list[int],
+    compute: list[float],
+    intervals: list[float],
 ) -> float:
-    compute = _compute_times(decomposition, workload)
-    n_ranks = decomposition.n_processors
+    n_ranks = len(compute)
     read_done = sync_bus_phase(
         [BlockRequest(p, reads[p], 0.0) for p in range(n_ranks)],
         machine.b,
         machine.c,
     )
     t1 = max(read_done.values())
-    point_time = workload.flops_per_point * workload.t_flop
     streams = [
-        WordStream(processor=p, words=writes[p], start=t1, interval=point_time)
+        WordStream(processor=p, words=writes[p], start=t1, interval=intervals[p])
         for p in range(n_ranks)
     ]
     drain_end = async_write_drain(streams, machine.b)
@@ -182,13 +183,17 @@ def _edge_direction(src, dst) -> tuple[int, int]:
     return dr, dc
 
 
-def _simulate_neighbour_net(
+def neighbour_comm_time(
     machine: Hypercube,
     decomposition: Decomposition,
-    workload: Workload,
     stencil: Stencil,
 ) -> float:
-    """Direction-phased halo exchange, then a barrier compute phase."""
+    """Direction-phased halo-exchange time (geometry only, no compute).
+
+    Pure function of the decomposition and link parameters, so the
+    batched replica simulator computes it once per unique configuration
+    and broadcasts it across the replica axis.
+    """
     parts = decomposition.partitions
     edges = decomposition.halo_edges(stencil)
     by_direction: dict[tuple[int, int], list[MessageSpec]] = {}
@@ -202,20 +207,29 @@ def _simulate_neighbour_net(
     for d in sorted(by_direction):
         phases.append(by_direction[d])  # sends in direction d
         phases.append(by_direction[d])  # matching receives complete the pair
-    comm = neighbour_exchange_time(
+    return neighbour_exchange_time(
         phases, machine.alpha, machine.beta, machine.packet_words
     )
-    return comm + max(_compute_times(decomposition, workload))
+
+
+def _simulate_neighbour_net(
+    machine: Hypercube,
+    decomposition: Decomposition,
+    stencil: Stencil,
+    compute: list[float],
+) -> float:
+    """Direction-phased halo exchange, then a barrier compute phase."""
+    return neighbour_comm_time(machine, decomposition, stencil) + max(compute)
 
 
 def _simulate_banyan(
     machine: BanyanNetwork,
-    decomposition: Decomposition,
-    workload: Workload,
     reads: list[int],
+    n_processors: int,
+    compute: list[float],
 ) -> float:
-    read_phase = read_phase_time(reads, machine.w, decomposition.n_processors)
-    return read_phase + max(_compute_times(decomposition, workload))
+    read_phase = read_phase_time(reads, machine.w, n_processors)
+    return read_phase + max(compute)
 
 
 def simulate_iteration(
@@ -237,13 +251,17 @@ def simulate_iteration(
     if decomposition.n_processors == 1:
         cycle = compute[0]
     elif isinstance(machine, SynchronousBus):
-        cycle = _simulate_sync_bus(machine, decomposition, workload, reads, writes, mode)
+        cycle = _simulate_sync_bus(machine, reads, writes, compute, mode)
     elif isinstance(machine, AsynchronousBus):
-        cycle = _simulate_async_bus(machine, decomposition, workload, reads, writes)
+        point_time = workload.flops_per_point * workload.t_flop
+        intervals = [point_time] * decomposition.n_processors
+        cycle = _simulate_async_bus(machine, reads, writes, compute, intervals)
     elif isinstance(machine, Hypercube):  # covers MeshGrid subclass
-        cycle = _simulate_neighbour_net(machine, decomposition, workload, stencil)
+        cycle = _simulate_neighbour_net(machine, decomposition, stencil, compute)
     elif isinstance(machine, BanyanNetwork):
-        cycle = _simulate_banyan(machine, decomposition, workload, reads)
+        cycle = _simulate_banyan(
+            machine, reads, decomposition.n_processors, compute
+        )
     else:
         raise SimulationError(f"no simulator for machine {machine.name!r}")
 

@@ -1,0 +1,117 @@
+"""Seed-perturbed replica simulation — the event-level oracle.
+
+A *replica* is one (machine, N, P, seed) execution of a solver
+iteration in which every rank's compute time is perturbed by a bounded
+multiplicative jitter drawn from the stateless counter RNG in
+:mod:`repro.sim.rng`.  The communication fabric is untouched — link and
+switch times are properties of the hardware — but perturbed compute
+shifts phase ready times, so contention, pipelining overlap, and
+asynchronous write backlog all respond to the draw.  Ensembles of
+replicas put Monte Carlo bands around the paper's deterministic
+validation curves.
+
+``jitter = 0`` reproduces :func:`repro.sim.iteration.simulate_iteration`
+bit for bit (every compute time is multiplied by exactly ``1.0``), which
+is how the batched path can serve the deterministic validation sweeps
+byte-identically.
+
+This module is the scalar reference: one replica at a time through the
+event-level phase models.  The lockstep-array twin is
+:func:`repro.batch.sim.simulate_replicas`; property tests pin the two
+equal, replica by replica, at matched seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import Workload
+from repro.errors import SimulationError
+from repro.machines.banyan import BanyanNetwork
+from repro.machines.base import Architecture
+from repro.machines.bus import AsynchronousBus, SynchronousBus
+from repro.machines.hypercube import Hypercube
+from repro.partitioning.decomposition import decomposition_for
+from repro.sim.iteration import (
+    _simulate_async_bus,
+    _simulate_banyan,
+    _simulate_neighbour_net,
+    _simulate_sync_bus,
+    halo_volumes,
+)
+from repro.sim.rng import jitter_factors
+from repro.stencils.perimeter import PartitionKind
+from repro.stencils.stencil import Stencil
+
+__all__ = ["ReplicaResult", "simulate_replica"]
+
+
+@dataclass(frozen=True)
+class ReplicaResult:
+    """One perturbed replica's timings."""
+
+    cycle_time: float
+    seed: int
+    jitter: float
+    compute_times: tuple[float, ...]
+    mode: str
+    machine_name: str
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.compute_times)
+
+
+def simulate_replica(
+    machine: Architecture,
+    n: int,
+    n_processors: int,
+    stencil: Stencil,
+    seed: int,
+    *,
+    kind: PartitionKind = PartitionKind.SQUARE,
+    t_flop: float = 1e-6,
+    mode: str = "barrier",
+    jitter: float = 0.0,
+) -> ReplicaResult:
+    """Simulate one jittered replica through the event-level models.
+
+    The decomposition kind follows the partition kind (strips decompose
+    as strips, squares as near-square blocks), matching
+    :func:`repro.sim.validate.validate_machine`.  ``P = 1`` replicas are
+    pure (jittered) compute.
+    """
+    workload = Workload(n=n, stencil=stencil, t_flop=t_flop)
+    dec_kind = "strip" if kind is PartitionKind.STRIP else "block"
+    decomposition = decomposition_for(n, n_processors, dec_kind)
+    reads, writes = halo_volumes(decomposition, stencil)
+
+    et = workload.flops_per_point * workload.t_flop
+    factors = jitter_factors(seed, n_processors, jitter)
+    compute = [
+        (part.area * et) * factors[rank]
+        for rank, part in enumerate(decomposition.partitions)
+    ]
+
+    if n_processors == 1:
+        cycle = compute[0]
+    elif isinstance(machine, SynchronousBus):
+        cycle = _simulate_sync_bus(machine, reads, writes, compute, mode)
+    elif isinstance(machine, AsynchronousBus):
+        intervals = [et * factors[rank] for rank in range(n_processors)]
+        cycle = _simulate_async_bus(machine, reads, writes, compute, intervals)
+    elif isinstance(machine, Hypercube):  # covers MeshGrid subclass
+        cycle = _simulate_neighbour_net(machine, decomposition, stencil, compute)
+    elif isinstance(machine, BanyanNetwork):
+        cycle = _simulate_banyan(machine, reads, n_processors, compute)
+    else:
+        raise SimulationError(f"no replica simulator for machine {machine.name!r}")
+
+    return ReplicaResult(
+        cycle_time=cycle,
+        seed=seed,
+        jitter=jitter,
+        compute_times=tuple(compute),
+        mode=mode,
+        machine_name=machine.name,
+    )

@@ -1,0 +1,114 @@
+"""Stateless counter-based randomness for replica simulation.
+
+Replica simulation perturbs each rank's compute time by a bounded
+jitter factor.  The perturbation must be *identical, bit for bit*, in
+the scalar event-level oracle (one replica at a time, Python floats)
+and in the lockstep-array twin (:mod:`repro.batch.sim`, thousands of
+replicas in NumPy arrays).  A stateful generator cannot give that — the
+draw order differs between the two schedules — so draws are a pure
+function of ``(seed, rank)``:
+
+``u(seed, rank) = mix64(seed + (rank + 1) · GAMMA) >> 11 · 2⁻⁵³``
+
+where ``mix64`` is the SplitMix64 finalizer (Steele, Lea & Flood 2014).
+All intermediate arithmetic is unsigned 64-bit modular; the final
+53-bit mantissa converts to float64 exactly, so the Python-int path and
+the ``uint64`` ndarray path produce the same doubles by construction.
+The function is also trivially deterministic, which keeps simulation
+request fingerprints pure (the seed *is* the canonical RNG state).
+
+``jitter = 0`` multiplies every compute time by exactly ``1.0`` — the
+degenerate replica reproduces the unperturbed simulator bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "MAX_SEED",
+    "jitter_factor_grid",
+    "jitter_factors",
+    "uniform01",
+    "uniform01_grid",
+]
+
+_MASK = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15  # 2⁶⁴ / φ, the SplitMix64 stream increment
+_MULT1 = 0xBF58476D1CE4E5B9
+_MULT2 = 0x94D049BB133111EB
+_TO_UNIT = 2.0**-53
+
+#: Seeds are canonicalized as unsigned 64-bit integers.
+MAX_SEED = _MASK
+
+
+def _check_seed(seed: int) -> int:
+    if not 0 <= seed <= MAX_SEED:
+        raise InvalidParameterError(
+            f"seed must be an integer in [0, 2**64), got {seed!r}"
+        )
+    return seed
+
+
+def _check_jitter(jitter: float) -> float:
+    if not 0.0 <= jitter < 1.0:
+        raise InvalidParameterError(
+            f"jitter must lie in [0, 1) so compute times stay positive, "
+            f"got {jitter!r}"
+        )
+    return jitter
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer on a Python int, modulo 2⁶⁴."""
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * _MULT1) & _MASK
+    x = ((x ^ (x >> 27)) * _MULT2) & _MASK
+    return x ^ (x >> 31)
+
+
+def uniform01(seed: int, rank: int) -> float:
+    """The scalar draw: ``u ∈ [0, 1)`` as a pure function of (seed, rank)."""
+    _check_seed(seed)
+    if rank < 0:
+        raise InvalidParameterError("rank must be non-negative")
+    h = _mix64((seed + (rank + 1) * _GAMMA) & _MASK)
+    return (h >> 11) * _TO_UNIT
+
+
+def uniform01_grid(seeds: np.ndarray, n_ranks: int) -> np.ndarray:
+    """The vectorized draw: shape ``[len(seeds), n_ranks]`` of float64.
+
+    Bit-identical to :func:`uniform01` at every (seed, rank) — same
+    modular arithmetic, carried out in wrapping ``uint64`` ufuncs.
+    """
+    if n_ranks < 1:
+        raise InvalidParameterError("n_ranks must be positive")
+    s = np.asarray(seeds, dtype=np.uint64)
+    counters = (np.arange(1, n_ranks + 1, dtype=np.uint64)) * np.uint64(_GAMMA)
+    x = s[:, None] + counters[None, :]
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_MULT1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_MULT2)
+    x = x ^ (x >> np.uint64(31))
+    return (x >> np.uint64(11)).astype(np.float64) * _TO_UNIT
+
+
+def jitter_factors(seed: int, n_ranks: int, jitter: float) -> list[float]:
+    """Per-rank compute multipliers ``1 + jitter·(2u − 1)`` (scalar path)."""
+    _check_jitter(jitter)
+    return [
+        1.0 + jitter * (2.0 * uniform01(seed, rank) - 1.0)
+        for rank in range(n_ranks)
+    ]
+
+
+def jitter_factor_grid(
+    seeds: np.ndarray, n_ranks: int, jitter: float
+) -> np.ndarray:
+    """Vectorized twin of :func:`jitter_factors`: ``[R, n_ranks]`` floats."""
+    _check_jitter(jitter)
+    u = uniform01_grid(seeds, n_ranks)
+    return 1.0 + jitter * (2.0 * u - 1.0)

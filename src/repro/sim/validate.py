@@ -23,12 +23,17 @@ import numpy as np
 
 from repro.core.parameters import Workload
 from repro.machines.base import Architecture
-from repro.partitioning.decomposition import decomposition_for
-from repro.sim.iteration import simulate_iteration
 from repro.stencils.perimeter import PartitionKind
 from repro.stencils.stencil import Stencil
 
-__all__ = ["ValidationPoint", "ValidationSweep", "validate_machine", "validation_summary"]
+__all__ = [
+    "ValidationPoint",
+    "ValidationSweep",
+    "monte_carlo_bands",
+    "validate_machine",
+    "validation_arrays",
+    "validation_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,45 @@ class ValidationSweep:
         return min(self.points, key=lambda p: p.simulated).processors
 
 
+def validation_arrays(
+    machine: Architecture,
+    stencil: Stencil,
+    n: int,
+    processor_counts: list[int],
+    kind: PartitionKind = PartitionKind.SQUARE,
+    t_flop: float = 1e-6,
+    mode: str = "barrier",
+) -> dict[str, np.ndarray]:
+    """The sweep as named arrays: analytic and simulated cycle columns.
+
+    The simulated column runs on the batched replica path
+    (:func:`repro.batch.sim.simulate_replicas`) with ``jitter = 0`` —
+    the degenerate replica is pinned bit-equal to the event-level
+    :func:`~repro.sim.iteration.simulate_iteration`, so this rewiring
+    changes no output byte.  This is also exactly what the graph layer's
+    ``sim_validate`` nodes evaluate, so offline sweeps, the CLI, and
+    the service serve one implementation.
+    """
+    from repro.batch.sim import ReplicaBatchSpec, simulate_replicas
+
+    procs = [int(p) for p in processor_counts]
+    workload = Workload(n=n, stencil=stencil, t_flop=t_flop)
+    analytic = np.asarray(
+        [machine.cycle_time_all_processors(workload, kind, p) for p in procs],
+        dtype=np.float64,
+    )
+    spec = ReplicaBatchSpec.build(
+        machine, stencil, kind, int(n), procs, 0,
+        t_flop=t_flop, mode=mode, jitter=0.0,
+    )
+    simulated = simulate_replicas(spec).cycle_times
+    return {
+        "processors": np.asarray(procs, dtype=np.int64),
+        "analytic": analytic,
+        "simulated": simulated,
+    }
+
+
 def validate_machine(
     machine: Architecture,
     stencil: Stencil,
@@ -79,19 +123,71 @@ def validate_machine(
     as strips, squares as near-square blocks (the paper's working
     rectangles).  ``P = 1`` maps to the serial time on both sides.
     """
-    workload = Workload(n=n, stencil=stencil, t_flop=t_flop)
-    dec_kind = "strip" if kind is PartitionKind.STRIP else "block"
-    points: list[ValidationPoint] = []
-    for p in processor_counts:
-        analytic = machine.cycle_time_all_processors(workload, kind, p)
-        decomposition = decomposition_for(n, p, dec_kind)
-        sim = simulate_iteration(machine, decomposition, stencil, t_flop, mode=mode)
-        points.append(
-            ValidationPoint(processors=p, analytic=analytic, simulated=sim.cycle_time)
-        )
-    return ValidationSweep(
-        machine_name=machine.name, kind=kind, n=n, points=tuple(points)
+    arrays = validation_arrays(
+        machine, stencil, n, processor_counts, kind, t_flop, mode
     )
+    points = tuple(
+        ValidationPoint(processors=int(p), analytic=a, simulated=s)
+        for p, a, s in zip(
+            arrays["processors"].tolist(),
+            arrays["analytic"].tolist(),
+            arrays["simulated"].tolist(),
+        )
+    )
+    return ValidationSweep(
+        machine_name=machine.name, kind=kind, n=n, points=points
+    )
+
+
+def monte_carlo_bands(
+    machine: Architecture,
+    stencil: Stencil,
+    n: int,
+    processor_counts: list[int],
+    kind: PartitionKind = PartitionKind.SQUARE,
+    *,
+    t_flop: float = 1e-6,
+    mode: str = "barrier",
+    replicas: int = 100,
+    seed: int = 0,
+    jitter: float = 0.02,
+) -> dict[str, np.ndarray]:
+    """Monte Carlo bands around the validation curve, per processor count.
+
+    Runs ``replicas`` jittered replicas at every processor count through
+    the batched simulator (one lockstep call for the whole ensemble) and
+    summarizes each count's cycle-time distribution — the scenario the
+    scalar island could not reach at interactive cost.
+    """
+    from repro.batch.sim import ReplicaBatchSpec, simulate_replicas
+
+    procs = [int(p) for p in processor_counts]
+    sides = tuple([int(n)] * (len(procs) * int(replicas)))
+    proc_col = tuple(p for p in procs for _ in range(int(replicas)))
+    seed_col = tuple(range(int(seed), int(seed) + int(replicas))) * len(procs)
+    spec = ReplicaBatchSpec(
+        machine=machine,
+        stencil=stencil,
+        kind=kind,
+        grid_sides=sides,
+        processors=proc_col,
+        seeds=seed_col,
+        t_flop=float(t_flop),
+        mode=mode,
+        jitter=float(jitter),
+    )
+    cycles = simulate_replicas(spec).cycle_times.reshape(
+        len(procs), int(replicas)
+    )
+    return {
+        "processors": np.asarray(procs, dtype=np.int64),
+        "mean": cycles.mean(axis=1),
+        "std": cycles.std(axis=1),
+        "q05": np.quantile(cycles, 0.05, axis=1),
+        "q95": np.quantile(cycles, 0.95, axis=1),
+        "min": cycles.min(axis=1),
+        "max": cycles.max(axis=1),
+    }
 
 
 def validation_summary(sweep: ValidationSweep) -> dict[str, float | int | bool]:

@@ -24,7 +24,13 @@ from repro.batch.cache import SweepCache
 from repro.service import AsyncSweepServer, ServiceClient, SweepServer
 from repro.service.aserver import _HttpError, _RequestParser
 from repro.service.frame import FRAME_CONTENT_TYPE
-from repro.service.schema import allocation_payload, plan_payload, sweep_payload
+from repro.service.schema import (
+    allocation_payload,
+    plan_payload,
+    sim_sweep_payload,
+    sim_validate_payload,
+    sweep_payload,
+)
 
 BACKENDS = {"thread": SweepServer, "asyncio": AsyncSweepServer}
 SIDES = list(range(64, 256, 16))
@@ -320,6 +326,10 @@ PARITY_STREAM = [
     (plan_payload("paper-bus", 256, [8, 16, 32]), FRAME_ACCEPT),
     (sweep_payload(SIDES, [4, 16], ["paper-bus", "flex32"]), JSON_ACCEPT),
     (sweep_payload(SIDES, [4, 16], ["paper-bus", "flex32"]), FRAME_ACCEPT),
+    (sim_sweep_payload("paper-bus", 32, 4, replicas=8, jitter=0.1), JSON_ACCEPT),
+    (sim_sweep_payload("paper-bus", 32, 4, replicas=8, jitter=0.1), FRAME_ACCEPT),
+    (sim_validate_payload("ipsc", 24, [1, 2, 4, 8]), JSON_ACCEPT),
+    (sim_validate_payload("ipsc", 24, [1, 2, 4, 8]), FRAME_ACCEPT),
     ({"kind": "allocation_curve", "machine": "no-such-machine"}, JSON_ACCEPT),
 ]
 

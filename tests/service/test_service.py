@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.batch import optimal_allocation_curve, run_sweep, SweepSpec
-from repro.machines.catalog import FLEX32, PAPER_BUS
+from repro.machines.catalog import DEFAULT_MACHINES, FLEX32, PAPER_BUS
 from repro.service import (
     AsyncSweepServer,
     RemoteSweepCache,
@@ -299,6 +299,74 @@ class TestPlanAndSweep:
         direct = run_sweep(spec)
         for name in ("ipsc", "paper-bus"):
             np.testing.assert_array_equal(surfaces[name], direct.cycle_time(name))
+
+
+class TestSimRequests:
+    def test_sim_sweep_is_bit_identical_to_offline(self, client):
+        from repro.batch.sim import ReplicaBatchSpec, simulate_replicas
+
+        served = client.sim_sweep(
+            "paper-bus", 32, 4, replicas=16, seed=5, jitter=0.1
+        )
+        spec = ReplicaBatchSpec.monte_carlo(
+            PAPER_BUS, FIVE_POINT, SQUARE, 32, 4, 16, seed=5, jitter=0.1
+        )
+        offline = simulate_replicas(spec).to_arrays()
+        assert sorted(served) == sorted(offline)
+        for name in offline:
+            np.testing.assert_array_equal(served[name], offline[name])
+            assert served[name].dtype == offline[name].dtype
+        assert client.last_served == "computed"
+
+    def test_sim_sweep_explicit_seeds(self, client):
+        from repro.batch.sim import ReplicaBatchSpec, simulate_replicas
+
+        seeds = [3, 99, 2**63, 2**64 - 1]
+        served = client.sim_sweep("ipsc", 24, 9, seeds=seeds, jitter=0.25)
+        spec = ReplicaBatchSpec.build(
+            DEFAULT_MACHINES["ipsc"], FIVE_POINT, SQUARE, 24, 9, seeds,
+            jitter=0.25,
+        )
+        offline = simulate_replicas(spec).to_arrays()
+        np.testing.assert_array_equal(served["cycle_times"], offline["cycle_times"])
+        np.testing.assert_array_equal(served["seeds"], offline["seeds"])
+
+    def test_sim_validate_matches_offline(self, client):
+        from repro.sim.validate import validation_arrays
+
+        served = client.sim_validate("paper-bus", 24, [1, 2, 4, 8])
+        offline = validation_arrays(PAPER_BUS, FIVE_POINT, 24, [1, 2, 4, 8], SQUARE)
+        assert sorted(served) == sorted(offline)
+        for name in offline:
+            np.testing.assert_array_equal(served[name], offline[name])
+
+    def test_repeat_sim_is_a_memory_hit(self, client):
+        client.sim_sweep("flex32", 20, 4, replicas=8)
+        client.sim_sweep("flex32", 20, 4, replicas=8)
+        assert client.last_served == "memory"
+
+    def test_sim_counter_and_kinds_surface(self, client):
+        assert "sim_sweep" in client.health()["kinds"]
+        assert "sim_validate" in client.health()["kinds"]
+        client.sim_sweep("paper-bus", 16, 4, replicas=4)
+        client.sim_validate("paper-bus", 16, [1, 2])
+        assert client.stats()["counters"]["sim"] == 2
+
+    def test_bad_sim_requests_are_400s(self, client):
+        with pytest.raises(ServiceError, match="unknown machine"):
+            client.sim_sweep("cray-1", 16, 4, replicas=2)
+        with pytest.raises(ServiceError, match=">= 1"):
+            client.sim_sweep("paper-bus", 0, 4, replicas=2)
+        with pytest.raises(ServiceError, match="seeds"):
+            client.sim_sweep("paper-bus", 16, 4, seeds=[])
+        with pytest.raises(ServiceError, match="jitter"):
+            client.sim_sweep("paper-bus", 16, 4, replicas=2, jitter=1.5)
+        with pytest.raises(ServiceError, match="mode"):
+            client.sim_sweep("paper-bus", 16, 4, replicas=2, mode="warp")
+        with pytest.raises(ServiceError, match="processors"):
+            client.sim_validate("paper-bus", 16, [])
+        # Nothing bogus was cached or computed along the way.
+        assert client.stats()["cache"]["misses"] == 0
 
 
 class TestSharedStoreTier:

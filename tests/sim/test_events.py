@@ -62,6 +62,18 @@ class TestEventQueue:
         q.run()
         assert q.events_processed == 2
 
+    def test_max_events_guard_is_per_run(self):
+        # Regression: the guard must count only the current drain, not
+        # events accumulated by earlier run() calls on the same queue.
+        q = EventQueue()
+        for i in range(80):
+            q.schedule(float(i), lambda: None)
+        q.run(max_events=100)
+        for i in range(80):
+            q.schedule(q.now + float(i + 1), lambda: None)
+        q.run(max_events=100)  # must not raise: 80 < 100 this drain
+        assert q.events_processed == 160
+
 
 class TestResource:
     def test_fifo_back_to_back(self):

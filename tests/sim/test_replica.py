@@ -1,0 +1,130 @@
+"""The scalar replica oracle: jitter semantics and RNG determinism."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.machines.catalog import DEFAULT_MACHINES
+from repro.partitioning.decomposition import decomposition_for
+from repro.sim import simulate_iteration, simulate_replica
+from repro.sim.rng import (
+    MAX_SEED,
+    jitter_factor_grid,
+    jitter_factors,
+    uniform01,
+    uniform01_grid,
+)
+from repro.stencils.library import FIVE_POINT, NINE_POINT_STAR
+from repro.stencils.perimeter import PartitionKind
+
+MACHINES = sorted(DEFAULT_MACHINES)
+
+
+class TestRng:
+    def test_uniform_in_unit_interval(self):
+        vals = [uniform01(12345, r) for r in range(64)]
+        assert all(0.0 <= v < 1.0 for v in vals)
+
+    def test_grid_matches_scalar_bitwise(self):
+        seeds = [0, 1, 7, 2**63, MAX_SEED]
+        grid = uniform01_grid(np.asarray(seeds, dtype=np.uint64), 8)
+        for i, s in enumerate(seeds):
+            for r in range(8):
+                assert grid[i, r] == uniform01(s, r)
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = [uniform01(1, r) for r in range(16)]
+        b = [uniform01(2, r) for r in range(16)]
+        assert a != b
+
+    def test_zero_jitter_factors_are_exactly_one(self):
+        assert jitter_factors(99, 5, 0.0) == [1.0] * 5
+        grid = jitter_factor_grid(np.asarray([3, 4], dtype=np.uint64), 5, 0.0)
+        assert np.all(grid == 1.0)
+
+    def test_factor_grid_matches_scalar_bitwise(self):
+        seeds = np.asarray([11, 12, 13], dtype=np.uint64)
+        grid = jitter_factor_grid(seeds, 6, 0.25)
+        for i, s in enumerate([11, 12, 13]):
+            assert grid[i].tolist() == jitter_factors(s, 6, 0.25)
+
+    def test_seed_range_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            uniform01(-1, 0)
+        with pytest.raises(InvalidParameterError):
+            uniform01(MAX_SEED + 1, 0)
+
+    def test_jitter_range_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            jitter_factors(0, 4, 1.0)
+        with pytest.raises(InvalidParameterError):
+            jitter_factors(0, 4, -0.1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=MAX_SEED),
+        jitter=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=50)
+    def test_factors_stay_in_band(self, seed, jitter):
+        for f in jitter_factors(seed, 8, jitter):
+            assert 1.0 - jitter <= f <= 1.0 + jitter
+            assert math.isfinite(f)
+
+
+class TestSimulateReplica:
+    @pytest.mark.parametrize("name", MACHINES)
+    @pytest.mark.parametrize("kind", [PartitionKind.SQUARE, PartitionKind.STRIP])
+    def test_zero_jitter_reproduces_event_sim(self, name, kind):
+        machine = DEFAULT_MACHINES[name]
+        dec_kind = "strip" if kind is PartitionKind.STRIP else "block"
+        for p in (1, 3, 8):
+            decomposition = decomposition_for(48, p, dec_kind)
+            base = simulate_iteration(
+                machine, decomposition, FIVE_POINT, 1e-6, mode="barrier"
+            )
+            rep = simulate_replica(
+                machine, 48, p, FIVE_POINT, seed=7, kind=kind, jitter=0.0
+            )
+            assert rep.cycle_time == base.cycle_time
+
+    @pytest.mark.parametrize("name", MACHINES)
+    def test_jitter_perturbs_but_stays_deterministic(self, name):
+        machine = DEFAULT_MACHINES[name]
+        a = simulate_replica(machine, 40, 4, NINE_POINT_STAR, seed=5, jitter=0.1)
+        b = simulate_replica(machine, 40, 4, NINE_POINT_STAR, seed=5, jitter=0.1)
+        c = simulate_replica(machine, 40, 4, NINE_POINT_STAR, seed=6, jitter=0.1)
+        assert a.cycle_time == b.cycle_time
+        assert a.compute_times == b.compute_times
+        assert a.cycle_time != c.cycle_time
+
+    def test_single_processor_is_pure_compute(self):
+        machine = DEFAULT_MACHINES["paper-bus"]
+        rep = simulate_replica(machine, 32, 1, FIVE_POINT, seed=3, jitter=0.2)
+        assert rep.n_processors == 1
+        assert rep.cycle_time == rep.compute_times[0]
+
+    def test_metadata_round_trip(self):
+        machine = DEFAULT_MACHINES["ipsc"]
+        rep = simulate_replica(
+            machine, 24, 4, FIVE_POINT, seed=9, mode="pipelined", jitter=0.05
+        )
+        assert rep.seed == 9
+        assert rep.jitter == 0.05
+        assert rep.mode == "pipelined"
+        assert rep.machine_name == machine.name
+        assert rep.n_processors == 4
+
+    def test_unknown_machine_rejected(self):
+        class Fake:
+            name = "fake"
+
+        from repro.machines.base import Architecture
+
+        machine = DEFAULT_MACHINES["paper-bus"]
+        assert isinstance(machine, Architecture)
+        with pytest.raises(SimulationError, match="no replica simulator"):
+            simulate_replica(Fake(), 16, 4, FIVE_POINT, seed=0)  # type: ignore[arg-type]

@@ -285,6 +285,87 @@ class TestExplainAndExecutor:
             )
 
 
+class TestSimulate:
+    ARGV = [
+        "simulate", "--machine", "paper-bus", "--n", "48",
+        "--processors", "8", "--replicas", "12", "--jitter", "0.05",
+    ]
+
+    def test_band_and_per_seed_table(self, capsys):
+        assert main(self.ARGV) == 0
+        out = capsys.readouterr().out
+        assert "Replica simulation" in out
+        assert "mean cycle time (s)" in out
+        assert "q95 cycle time (s)" in out
+        # 12 replicas is small enough for the per-seed table.
+        assert "seed" in out and "cycle time (s)" in out
+
+    def test_band_matches_offline_simulator(self, capsys):
+        import numpy as np
+
+        from repro.batch.sim import ReplicaBatchSpec, simulate_replicas
+        from repro.machines.catalog import PAPER_BUS
+        from repro.stencils.library import FIVE_POINT
+        from repro.stencils.perimeter import PartitionKind
+
+        main(self.ARGV)
+        out = capsys.readouterr().out
+        spec = ReplicaBatchSpec.monte_carlo(
+            PAPER_BUS, FIVE_POINT, PartitionKind.SQUARE, 48, 8, 12,
+            jitter=0.05,
+        )
+        mean = simulate_replicas(spec).cycle_times.mean()
+        assert f"{np.float64(mean).item():g}" in out
+
+    def test_oracle_executor_output_is_byte_identical(self, capsys):
+        assert main(self.ARGV) == 0
+        via_numpy = capsys.readouterr().out
+        assert main(self.ARGV + ["--executor", "oracle"]) == 0
+        via_oracle = capsys.readouterr().out
+        assert via_oracle == via_numpy
+
+    def test_server_output_is_byte_identical(self, capsys):
+        from repro.service import SweepServer
+
+        main(self.ARGV)
+        offline = capsys.readouterr().out
+        with SweepServer(port=0) as srv:
+            assert main(self.ARGV + ["--server", srv.url]) == 0
+            served = capsys.readouterr().out
+        assert served == offline
+
+    def test_cache_dir_serves_repeat_from_store(self, capsys, tmp_path):
+        argv = self.ARGV + ["--cache-dir", str(tmp_path / "cache")]
+        main(argv)
+        cold = capsys.readouterr().out
+        main(argv)
+        warm = capsys.readouterr().out
+        # Same bytes either way; the second run hit the store.
+        assert warm == cold
+
+    def test_explain_plans_without_executing(self, capsys):
+        assert main(self.ARGV + ["--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "sim_sweep" in out
+        assert "compute" in out
+        assert "Replica simulation" not in out
+
+    def test_bad_replicas_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="--replicas"):
+            main(["simulate", "--replicas", "0"])
+
+    def test_server_plus_cache_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="mutually exclusive"):
+            main(
+                self.ARGV
+                + ["--server", "http://127.0.0.1:1", "--cache-dir", "/tmp/x"]
+            )
+
+
 class TestExperimentsOutput:
     def test_output_directory_created(self, capsys, tmp_path):
         target = tmp_path / "fresh" / "nested"
